@@ -1,0 +1,30 @@
+# Convenience targets for the RAPIDS reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-assert examples tables figures all clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-assert:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-disable
+
+examples:
+	for ex in examples/*.py; do $(PYTHON) $$ex; done
+
+# Regenerate every paper table/figure as text reports.
+tables:
+	$(PYTHON) benchmarks/run_all.py
+
+all: test bench-assert tables
+
+clean:
+	rm -rf .pytest_cache .hypothesis build *.egg-info src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

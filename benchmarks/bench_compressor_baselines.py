@@ -1,0 +1,125 @@
+"""Compressor-baseline bench — why data *refactoring* and not just
+compression?
+
+§2.2's argument: lossless compressors barely dent floating-point
+scientific data (random mantissa tails), and plain lossy compressors
+give one error bound with no progressive access.  This bench puts the
+refactorer against both families on the six Table 2 proxies:
+
+* lossless zlib over the raw bytes (gzip-family, the paper's [46]);
+* float16 cast (the crudest one-shot lossy baseline);
+* RAPIDS refactoring at matched error targets, where the *same encoding*
+  additionally yields every intermediate accuracy for free.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from harness import object_profiles, print_table
+from repro.datasets import TABLE2
+from repro.refactor import Refactorer, RetrievalPlan, relative_linf_error
+
+PROXY = (49, 49, 49)
+
+
+def lossless_ratio(field: np.ndarray) -> float:
+    raw = field.tobytes()
+    return len(raw) / len(zlib.compress(raw, level=6))
+
+
+def float16_point(field: np.ndarray) -> tuple[float, float]:
+    """(compression ratio, rel Linf error) of a float16 cast.
+
+    Fields whose values exceed float16's range (absolute pressures at
+    ~1e5 Pa) overflow to inf — the cast simply cannot represent them,
+    which is itself part of the comparison (reported as err = inf).
+    """
+    with np.errstate(over="ignore"):
+        cast = field.astype(np.float16)
+        back = cast.astype(np.float32)
+    if not np.all(np.isfinite(back)):
+        return field.nbytes / cast.nbytes, float("inf")
+    return field.nbytes / cast.nbytes, relative_linf_error(field, back)
+
+
+def refactor_frontier(field: np.ndarray) -> RetrievalPlan:
+    obj = Refactorer(4, num_planes=22).refactor(field)
+    return RetrievalPlan.for_object(obj)
+
+
+def test_lossless_barely_compresses():
+    """Gzip-family on float32 simulation data: well under 2x (§2.2)."""
+    for obj in TABLE2:
+        ratio = lossless_ratio(obj.proxy(PROXY))
+        assert ratio < 2.0, (obj.full_name, ratio)
+
+
+def test_refactoring_beats_float16_at_its_own_error():
+    """At float16's error level, the refactored representation needs
+    comparable-or-fewer bytes AND remains progressive."""
+    wins = 0
+    for obj in TABLE2:
+        field = obj.proxy(PROXY)
+        _, f16_err = float16_point(field)
+        plan = refactor_frontier(field)
+        if not np.isfinite(f16_err):
+            wins += 1  # float16 cannot represent the field at all
+            continue
+        try:
+            budget = plan.budget_for_error(f16_err)
+        except ValueError:
+            continue
+        f16_bytes = field.nbytes // 2
+        if budget <= f16_bytes:
+            wins += 1
+    assert wins >= 4, wins
+
+
+def test_progressive_access_is_free():
+    """The refactored stream exposes >= 4 distinct accuracy points; the
+    one-shot baselines expose exactly one."""
+    field = TABLE2[0].proxy(PROXY)
+    plan = refactor_frontier(field)
+    errors = {err for _, err in plan.points}
+    assert len(errors) >= 4
+
+
+def test_bench_zlib_baseline(benchmark):
+    field = TABLE2[0].proxy(PROXY)
+    raw = field.tobytes()
+    benchmark(zlib.compress, raw, 6)
+
+
+def test_bench_refactor_same_input(benchmark):
+    field = TABLE2[0].proxy(PROXY)
+    r = Refactorer(4, num_planes=22)
+    benchmark(r.refactor, field, measure_errors=False)
+
+
+if __name__ == "__main__":
+    rows = []
+    for obj in TABLE2:
+        field = obj.proxy(PROXY)
+        lossless = lossless_ratio(field)
+        f16_cr, f16_err = float16_point(field)
+        plan = refactor_frontier(field)
+        if not np.isfinite(f16_err):
+            rf_cr = "(f16 overflows)"
+        else:
+            try:
+                rf_bytes = plan.budget_for_error(f16_err)
+                rf_cr = f"{field.nbytes / rf_bytes:.2f}x"
+            except ValueError:
+                rf_cr = "n/a"
+        rows.append([
+            obj.full_name, f"{lossless:.2f}x",
+            f"{f16_cr:.1f}x @ {f16_err:.1e}", rf_cr,
+            f"{field.nbytes / plan.total_bytes:.2f}x @ {plan.floor_error:.1e}",
+        ])
+    print_table(
+        "Compressor baselines vs refactoring (49^3 proxies)",
+        ["Object", "zlib (lossless)", "float16", "RF @ f16 err", "RF full"],
+        rows,
+    )

@@ -1,0 +1,117 @@
+"""Kernel micro-benchmarks: the hot paths identified by profiling.
+
+Not a paper artifact — a performance-regression harness for the
+vectorised kernels everything else is built on, following the
+profile-first workflow of the optimisation guides: GF(256) matrix
+multiply (erasure coding's inner loop), the 1-D multilevel transform,
+bitplane extraction, and the end-to-end refactor/reconstruct rates that
+feed the Fig. 5/6 calibration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import nyx_temperature
+from repro.ec import RSCode, matrix
+from repro.refactor import Refactorer, transform
+from repro.refactor.bitplane import decode_planes, encode_planes
+
+FIELD = nyx_temperature((49, 49, 49))
+
+
+def test_bench_gf_matmul(benchmark):
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 256, size=(16, 12), dtype=np.uint8)
+    b = rng.integers(0, 256, size=(12, 1 << 16), dtype=np.uint8)
+    out = benchmark(matrix.matmul, a, b)
+    assert out.shape == (16, 1 << 16)
+
+
+def test_bench_gf_invert(benchmark):
+    rng = np.random.default_rng(1)
+    while True:
+        m = rng.integers(0, 256, size=(12, 12), dtype=np.uint8)
+        try:
+            matrix.invert(m)
+            break
+        except np.linalg.LinAlgError:
+            continue
+    benchmark(matrix.invert, m)
+
+
+def test_bench_rs_encode(benchmark):
+    code = RSCode(12, 4)
+    payload = FIELD.tobytes()
+    frags = benchmark(code.encode, payload)
+    assert len(frags) == 16
+
+
+def test_bench_rs_decode_with_erasures(benchmark):
+    """Decode with parity substitution (the matrix-solve path, not the
+    all-data-present memcpy fast path)."""
+    code = RSCode(12, 4)
+    payload = FIELD.tobytes()
+    frags = code.encode(payload)
+    available = {i: frags[i] for i in list(range(2, 14)) + [15]}
+
+    def run():
+        return code.decode(available)
+
+    assert benchmark(run) == payload
+
+
+def test_bench_transform_decompose(benchmark):
+    u = FIELD.astype(np.float64)
+    mallat, plans = benchmark(transform.decompose, u)
+    assert mallat.shape == u.shape
+
+
+def test_bench_transform_recompose(benchmark):
+    u = FIELD.astype(np.float64)
+    mallat, plans = transform.decompose(u)
+    out = benchmark(transform.recompose, mallat, plans)
+    assert out.shape == u.shape
+
+
+def test_bench_bitplane_encode(benchmark):
+    rng = np.random.default_rng(2)
+    coeffs = rng.normal(size=200_000)
+    ps = benchmark(encode_planes, coeffs, 22)
+    assert ps.num_planes == 22
+
+
+def test_bench_bitplane_decode(benchmark):
+    rng = np.random.default_rng(3)
+    coeffs = rng.normal(size=200_000)
+    ps = encode_planes(coeffs, 22)
+    out = benchmark(decode_planes, ps)
+    assert out.size == 200_000
+
+
+def test_bench_refactor_end_to_end(benchmark):
+    r = Refactorer(4, num_planes=22)
+    obj = benchmark(r.refactor, FIELD, measure_errors=False)
+    assert obj.num_components == 4
+
+
+def test_bench_reconstruct_end_to_end(benchmark):
+    r = Refactorer(4, num_planes=22)
+    obj = r.refactor(FIELD, measure_errors=False)
+    out = benchmark(r.reconstruct, obj)
+    assert out.shape == FIELD.shape
+
+
+if __name__ == "__main__":
+    import time
+
+    nbytes = FIELD.nbytes
+    r = Refactorer(4, num_planes=22)
+    r.refactor(FIELD, measure_errors=False)  # warm caches
+    t0 = time.perf_counter()
+    obj = r.refactor(FIELD, measure_errors=False)
+    t_rf = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    r.reconstruct(obj)
+    t_rc = time.perf_counter() - t0
+    print(f"refactor    {nbytes / t_rf / 1e6:6.1f} MB/s")
+    print(f"reconstruct {nbytes / t_rc / 1e6:6.1f} MB/s")

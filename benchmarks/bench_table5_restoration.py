@@ -1,0 +1,113 @@
+"""Table 5 — overall data-restoration performance: DP vs EC vs RF+EC.
+
+End-to-end restoration time (gathering + read + decode + reconstruct) at
+64/256/1024 cores, same fairness configs as Table 4.  Shape claims: EC
+wins at 64 cores; RF+EC overtakes from 256 cores and wins clearly at
+1,024, especially on the large objects.
+"""
+
+import pytest
+
+from harness import (
+    N_SYSTEMS,
+    bandwidths,
+    object_profiles,
+    print_table,
+    scaling_model,
+)
+from repro.core import DuplicationMethod, PlainECMethod, gathering_latency, optimized_strategy
+
+CORES = [64, 256, 1024]
+DP_REPLICAS = 3
+EC_K, EC_M = 12, 4
+SOLVER_CHARGE = 60.0
+
+
+def table5_times():
+    model = scaling_model()
+    bw = bandwidths(N_SYSTEMS)
+    dp = DuplicationMethod(DP_REPLICAS)
+    ec = PlainECMethod(EC_K, EC_M)
+    out = {}
+    for prof in object_profiles():
+        S = prof.paper_bytes
+        ms = prof.optimal_ms()
+        dp_gather = dp.restore(S, bw).gathering_latency
+        ec_gather = ec.restore(S, bw).gathering_latency
+        outcome = optimized_strategy(
+            prof.level_sizes, ms, bw, time_budget=0.3, charged_time=0.0,
+            seed=0, objective="makespan",
+        )
+        rf_gather = gathering_latency(outcome, prof.level_sizes, ms, bw)
+        row = {"DP": sum(
+            model.restoration_times("DP", cores=1, original_bytes=S,
+                                    gathering_latency=dp_gather).values()
+        )}
+        for cores in CORES:
+            row[("EC", cores)] = sum(
+                model.restoration_times(
+                    "EC", cores=cores, original_bytes=S, gathered_bytes=S,
+                    gathering_latency=ec_gather,
+                ).values()
+            )
+            row[("RF+EC", cores)] = sum(
+                model.restoration_times(
+                    "RF+EC", cores=cores, original_bytes=S,
+                    gathered_bytes=prof.refactored_bytes,
+                    gathering_latency=rf_gather,
+                    gather_optimize_time=SOLVER_CHARGE,
+                ).values()
+            )
+        out[prof.name] = row
+    return out
+
+
+def test_ec_wins_at_64_cores():
+    for name, row in table5_times().items():
+        assert row[("EC", 64)] < row[("RF+EC", 64)], name
+
+
+def test_rfec_wins_at_1024_on_large_objects():
+    for name, row in table5_times().items():
+        if "hurricane" in name:
+            continue
+        assert row[("RF+EC", 1024)] < row[("EC", 1024)], name
+        assert row[("RF+EC", 1024)] < row["DP"], name
+
+
+def test_rfec_competitive_from_256_cores():
+    """Paper: RF+EC starts outperforming EC at 256 cores."""
+    wins = sum(
+        row[("RF+EC", 256)] < row[("EC", 256)]
+        for row in table5_times().values()
+    )
+    assert wins >= 3
+
+
+def test_improvement_grows_with_scale():
+    for name, row in table5_times().items():
+        if "hurricane" in name:
+            continue
+        gain_256 = row[("EC", 256)] / row[("RF+EC", 256)]
+        gain_1024 = row[("EC", 1024)] / row[("RF+EC", 1024)]
+        assert gain_1024 > gain_256, name
+
+
+def test_bench_table5(benchmark):
+    out = benchmark(table5_times)
+    assert len(out) == 6
+
+
+if __name__ == "__main__":
+    rows = []
+    for name, r in table5_times().items():
+        rows.append(
+            [name, f"{r['DP']:.0f}"]
+            + [f"{r[(m, c)]:.0f}" for c in CORES for m in ("EC", "RF+EC")]
+        )
+    print_table(
+        "Table 5: overall restoration time (seconds)",
+        ["Object", "DP",
+         "EC@64", "RF+EC@64", "EC@256", "RF+EC@256", "EC@1024", "RF+EC@1024"],
+        rows,
+    )

@@ -1,0 +1,95 @@
+"""Optimising WAN gathering under bandwidth contention.
+
+End-to-end walkthrough of the §3.3 machinery:
+
+1. synthesise Globus-style transfer logs and estimate per-endpoint
+   bandwidth the way the paper does (§5.1.2);
+2. build the Eq. 10 gathering model for a refactored 16 TB object with
+   two failed systems;
+3. compare Random / Naive / ACO-optimised strategies, show the ACO
+   convergence trace, and validate against the exhaustive oracle on a
+   down-scaled instance.
+
+Run:  python examples/gathering_optimization.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    gathering_latency,
+    naive_strategy,
+    optimized_strategy,
+    random_strategy,
+)
+from repro.optimize import (
+    ACOSolver,
+    GatheringModel,
+    exhaustive_gathering,
+    solution_space_size,
+)
+from repro.transfer import GB, estimate_bandwidths, generate_transfer_logs
+
+TB = 1024**4
+
+
+def main() -> None:
+    # --- bandwidth estimation from (synthetic) Globus logs -------------
+    records, _ = generate_transfer_logs(num_endpoints=16, seed=2014)
+    est = estimate_bandwidths(records)
+    bw = np.array([est[f"gcs-{i:02d}"] for i in range(16)])
+    print("estimated endpoint bandwidths (GB/s):",
+          " ".join(f"{b / GB:.2f}" for b in bw))
+
+    # --- one refactored object, two systems down -------------------------
+    sizes = [0.01 * 16 * TB, 0.04 * 16 * TB, 0.11 * 16 * TB, 0.42 * 16 * TB]
+    ms = [9, 8, 7, 4]
+    failed = [3, 11]
+
+    rand_lat = [
+        gathering_latency(
+            random_strategy(sizes, ms, bw, failed, seed=s), sizes, ms, bw
+        )
+        for s in range(50)
+    ]
+    naive = naive_strategy(sizes, ms, bw, failed)
+    naive_lat = gathering_latency(naive, sizes, ms, bw)
+    opt = optimized_strategy(
+        sizes, ms, bw, failed, time_budget=1.0, charged_time=0.0,
+        seed=0, objective="makespan",
+    )
+    opt_lat = gathering_latency(opt, sizes, ms, bw)
+    print(f"\nRandom (50 seeds): {np.mean(rand_lat):8.0f}s ± {np.std(rand_lat):.0f}")
+    print(f"Naive            : {naive_lat:8.0f}s")
+    print(f"Optimized (ACO)  : {opt_lat:8.0f}s "
+          f"({naive_lat / opt_lat:.2f}x faster than Naive)")
+
+    # --- convergence trace -------------------------------------------------
+    n = len(bw)
+    avail = np.ones(n, dtype=bool)
+    avail[failed] = False
+    model = GatheringModel(
+        fragment_sizes=np.array([s / (n - m) for s, m in zip(sizes, ms)]),
+        needed=np.array([n - m for m in ms]),
+        bandwidths=bw,
+        available=avail,
+        objective="makespan",
+    )
+    res = ACOSolver(seed=1).solve(model, max_iterations=40)
+    trace = [f"{v:.0f}" for v in res.history[:: max(1, len(res.history) // 8)]]
+    print(f"\nACO best-so-far trace (s): {' -> '.join(trace)}")
+
+    # --- oracle check at toy scale ----------------------------------------
+    toy = GatheringModel(
+        fragment_sizes=np.array([1 * GB, 8 * GB]),
+        needed=np.array([2, 4]),
+        bandwidths=bw[:6],
+        available=np.ones(6, dtype=bool),
+    )
+    print(f"\ntoy instance: {solution_space_size(toy)} candidate selections")
+    _, oracle_val = exhaustive_gathering(toy)
+    aco_val = ACOSolver(seed=0).solve(toy, max_iterations=60).value
+    print(f"exhaustive optimum {oracle_val:.1f}s, ACO finds {aco_val:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

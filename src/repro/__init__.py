@@ -1,0 +1,37 @@
+"""repro — a from-scratch reproduction of RAPIDS (HPDC '23).
+
+RAPIDS reconciles availability, accuracy and performance for
+geo-distributed scientific data by combining multigrid-based
+error-bounded lossy refactoring with per-level erasure coding, plus two
+optimisation models: fault-tolerance configuration (expected relative
+error under a storage budget) and data gathering (transfer latency under
+bandwidth contention).
+
+Public entry points::
+
+    from repro import RAPIDS, Refactorer, StorageCluster, MetadataCatalog
+    from repro.datasets import TABLE2
+    from repro.transfer import paper_bandwidth_profile
+"""
+
+from .core import RAPIDS, DuplicationMethod, PlainECMethod
+from .ec import ErasureCodec, RSCode
+from .metadata import MetadataCatalog
+from .refactor import RefactoredObject, Refactorer, relative_linf_error
+from .storage import StorageCluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RAPIDS",
+    "Refactorer",
+    "RefactoredObject",
+    "relative_linf_error",
+    "ErasureCodec",
+    "RSCode",
+    "StorageCluster",
+    "MetadataCatalog",
+    "DuplicationMethod",
+    "PlainECMethod",
+    "__version__",
+]

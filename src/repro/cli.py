@@ -1,0 +1,320 @@
+"""``rapids`` command-line interface.
+
+Subcommands::
+
+    rapids refactor  <in.npy> <out dir>     refactor an array to components
+    rapids reconstruct <dir> <out.npy>      rebuild from a component prefix
+    rapids optimize-ft                      solve the FT configuration model
+    rapids estimate-bandwidth               synthesize logs + estimate (§5.1.2)
+    rapids info <dir>                       describe a refactored object
+
+The CLI operates on a simple on-disk layout: ``<dir>/component-XX.bin``
+plus a ``manifest`` container holding the reconstruction metadata.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from . import __version__
+from .core import FTProblem, brute_force, heuristic
+from .refactor import Refactorer
+from .refactor.serialization import load_directory, save_directory
+from .transfer import GB, estimate_bandwidths, generate_transfer_logs
+
+__all__ = ["main"]
+
+_write_refactored = save_directory
+
+
+def _read_refactored(indir: Path, upto: int | None = None):
+    return load_directory(indir, upto=upto)
+
+
+def _cmd_refactor(args) -> int:
+    data = np.load(args.input)
+    refactorer = Refactorer(
+        args.components, num_planes=args.planes, correction=not args.no_correction
+    )
+    obj = refactorer.refactor(data, measure_errors=not args.fast)
+    _write_refactored(obj, Path(args.outdir))
+    print(f"refactored {data.shape} {data.dtype} -> {obj.num_components} "
+          f"components, {obj.total_bytes} bytes "
+          f"(compression {obj.compression_ratio:.2f}x)")
+    for j, (s, e) in enumerate(zip(obj.sizes, obj.errors)):
+        print(f"  component {j + 1}: {s:>10d} bytes   e_{j + 1} = {e:.3e}")
+    return 0
+
+
+def _cmd_reconstruct(args) -> int:
+    obj = _read_refactored(Path(args.indir), upto=args.upto)
+    refactorer = Refactorer(obj.num_components)
+    data = refactorer.reconstruct(obj)
+    np.save(args.output, data)
+    print(f"reconstructed {data.shape} {data.dtype} from "
+          f"{len(obj.payloads)} component(s) -> {args.output}")
+    if obj.errors:
+        print(f"  recorded error for this prefix: {obj.errors[-1]:.3e}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    obj = _read_refactored(Path(args.indir))
+    print(json.dumps(
+        {
+            "shape": list(obj.shape),
+            "dtype": obj.dtype,
+            "components": obj.num_components,
+            "sizes": obj.sizes,
+            "errors": obj.errors,
+            "total_bytes": obj.total_bytes,
+            "compression_ratio": obj.compression_ratio,
+        },
+        indent=2,
+    ))
+    return 0
+
+
+def _cmd_optimize_ft(args) -> int:
+    sizes = tuple(float(s) for s in args.sizes.split(","))
+    errors = tuple(float(e) for e in args.errors.split(","))
+    problem = FTProblem(
+        n=args.systems, p=args.p, sizes=sizes, errors=errors,
+        original_size=args.original_size, omega=args.omega,
+    )
+    solver = brute_force if args.brute_force else heuristic
+    sol = solver(problem)
+    print(f"optimal m_j = {sol.ms}")
+    print(f"expected relative error = {sol.expected_error:.4e}")
+    print(f"storage overhead = {sol.overhead:.4f} (budget {args.omega})")
+    print(f"{sol.evaluations} model evaluations in {sol.elapsed * 1e3:.2f} ms")
+    return 0
+
+
+def _open_workspace(workspace: str, *, systems: int | None = None):
+    """Open (or create) a persistent prepare/restore workspace."""
+    from .core import RAPIDS
+    from .metadata import MetadataCatalog
+    from .storage import FileStorageCluster
+    from .transfer import paper_bandwidth_profile
+
+    ws = Path(workspace)
+    if (ws / "cluster" / "cluster.json").exists():
+        cluster = FileStorageCluster(ws / "cluster")
+    else:
+        n = systems or 16
+        cluster = FileStorageCluster(
+            ws / "cluster", bandwidths=paper_bandwidth_profile(n)
+        )
+    catalog = MetadataCatalog(ws / "metadata")
+    return RAPIDS(cluster, catalog), catalog
+
+
+def _cmd_prepare(args) -> int:
+    data = np.load(args.input)
+    rapids, catalog = _open_workspace(args.workspace, systems=args.systems)
+    try:
+        rapids.omega = args.omega
+        rep = rapids.prepare(args.name, data)
+        print(f"prepared {args.name!r}: shape {tuple(data.shape)}, "
+              f"m = {rep.ft_config}")
+        print(f"  storage overhead {rep.storage_overhead:.4f} "
+              f"(budget {args.omega})")
+        print(f"  expected relative error {rep.expected_error:.4e}")
+        print(f"  simulated distribution latency "
+              f"{rep.distribution_latency:.3f}s")
+    finally:
+        catalog.close()
+    return 0
+
+
+def _cmd_restore(args) -> int:
+    rapids, catalog = _open_workspace(args.workspace)
+    try:
+        failed = (
+            [int(s) for s in args.failed.split(",")] if args.failed else []
+        )
+        rapids.cluster.restore_all()
+        rapids.cluster.fail(failed)
+        res = rapids.restore(
+            args.name,
+            strategy=args.strategy,
+            solver_budget=args.solver_budget,
+            target_error=args.target_error,
+        )
+        if res.data is None:
+            print(f"{args.name!r}: no level recoverable under "
+                  f"{len(failed)} failures")
+            return 2
+        np.save(args.output, res.data)
+        print(f"restored {args.name!r} -> {args.output}")
+        print(f"  levels used {res.levels_used}, recorded error "
+              f"{res.achieved_error:.4e}")
+        print(f"  simulated gathering latency {res.gathering_latency:.3f}s")
+    finally:
+        rapids.cluster.restore_all()
+        catalog.close()
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .sim import CampaignConfig, run_campaign
+
+    ms = tuple(int(m) for m in args.ms.split(","))
+    errors = tuple(float(e) for e in args.errors.split(","))
+    cfg = CampaignConfig(
+        n=args.systems, p_fail=args.p_fail, p_repair=args.p_repair,
+        ms=ms, errors=errors, epochs=args.epochs,
+        requests_per_epoch=args.requests,
+    )
+    stats = run_campaign(cfg, seed=args.seed)
+    print(f"campaign: {cfg.epochs} epochs x {cfg.requests_per_epoch} "
+          f"requests, steady-state p = {cfg.steady_state_p:.4f}")
+    print(f"  availability          : {stats.availability:.6f}")
+    print(f"  full-accuracy fraction: {stats.full_accuracy_fraction:.6f}")
+    print(f"  mean relative error   : {stats.mean_error:.4e}")
+    print(f"  max concurrent outages: {stats.max_concurrent_failures}")
+    for levels in sorted(stats.levels_histogram):
+        count = stats.levels_histogram[levels]
+        print(f"  {levels} level(s) restored : {count} requests")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .sim import simulate_expected_error
+
+    ms = [int(m) for m in args.ms.split(",")]
+    errors = [float(e) for e in args.errors.split(",")]
+    res = simulate_expected_error(
+        args.systems, args.p, ms, errors, trials=args.trials, seed=args.seed
+    )
+    print(f"Eq. 5 analytic expected error : {res.analytic:.6e}")
+    print(f"Monte Carlo ({res.trials} trials): {res.empirical:.6e} "
+          f"± {res.std_error:.1e}")
+    print(f"z-score: {res.z_score:+.2f}")
+    return 0 if abs(res.z_score) < 5 else 2
+
+
+def _cmd_estimate_bandwidth(args) -> int:
+    records, _ = generate_transfer_logs(
+        num_endpoints=args.endpoints, seed=args.seed
+    )
+    est = estimate_bandwidths(records)
+    print(f"{len(records)} transfer records across {args.endpoints} endpoints")
+    for ep in sorted(est):
+        print(f"  {ep}: {est[ep] / GB:.2f} GB/s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="rapids",
+        description="RAPIDS: availability/accuracy/performance for "
+        "geo-distributed scientific data (HPDC'23 reproduction)",
+    )
+    p.add_argument("--version", action="version", version=__version__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    r = sub.add_parser("refactor", help="refactor a .npy array")
+    r.add_argument("input")
+    r.add_argument("outdir")
+    r.add_argument("--components", type=int, default=4)
+    r.add_argument("--planes", type=int, default=32)
+    r.add_argument("--no-correction", action="store_true")
+    r.add_argument("--fast", action="store_true",
+                   help="skip empirical error measurement")
+    r.set_defaults(func=_cmd_refactor)
+
+    c = sub.add_parser("reconstruct", help="rebuild an array from components")
+    c.add_argument("indir")
+    c.add_argument("output")
+    c.add_argument("--upto", type=int, default=None,
+                   help="use only the first N components")
+    c.set_defaults(func=_cmd_reconstruct)
+
+    i = sub.add_parser("info", help="describe a refactored object")
+    i.add_argument("indir")
+    i.set_defaults(func=_cmd_info)
+
+    o = sub.add_parser("optimize-ft", help="solve the FT configuration model")
+    o.add_argument("--systems", type=int, default=16)
+    o.add_argument("--p", type=float, default=0.01)
+    o.add_argument("--sizes", required=True,
+                   help="comma-separated level sizes in bytes")
+    o.add_argument("--errors", required=True,
+                   help="comma-separated level errors")
+    o.add_argument("--original-size", type=float, required=True)
+    o.add_argument("--omega", type=float, default=0.25)
+    o.add_argument("--brute-force", action="store_true")
+    o.set_defaults(func=_cmd_optimize_ft)
+
+    b = sub.add_parser("estimate-bandwidth",
+                       help="synthesize Globus logs and estimate bandwidths")
+    b.add_argument("--endpoints", type=int, default=16)
+    b.add_argument("--seed", type=int, default=2014)
+    b.set_defaults(func=_cmd_estimate_bandwidth)
+
+    pp = sub.add_parser(
+        "prepare",
+        help="refactor + protect a .npy array into a persistent workspace",
+    )
+    pp.add_argument("input")
+    pp.add_argument("name", help="data object name, e.g. nyx:temperature")
+    pp.add_argument("--workspace", default="rapids-ws")
+    pp.add_argument("--systems", type=int, default=16)
+    pp.add_argument("--omega", type=float, default=0.25)
+    pp.set_defaults(func=_cmd_prepare)
+
+    rr = sub.add_parser(
+        "restore", help="restore an object from a workspace under failures"
+    )
+    rr.add_argument("name")
+    rr.add_argument("output")
+    rr.add_argument("--workspace", default="rapids-ws")
+    rr.add_argument("--failed", default="",
+                    help="comma-separated failed system ids")
+    rr.add_argument("--strategy", default="naive",
+                    choices=["random", "naive", "optimized"])
+    rr.add_argument("--solver-budget", type=float, default=1.0)
+    rr.add_argument("--target-error", type=float, default=None)
+    rr.set_defaults(func=_cmd_restore)
+
+    s = sub.add_parser("simulate", help="run a failure-campaign simulation")
+    s.add_argument("--systems", type=int, default=16)
+    s.add_argument("--p-fail", type=float, default=0.002)
+    s.add_argument("--p-repair", type=float, default=0.2)
+    s.add_argument("--ms", default="8,5,4,2")
+    s.add_argument("--errors", default="4e-3,5e-4,6e-5,1e-7")
+    s.add_argument("--epochs", type=int, default=10_000)
+    s.add_argument("--requests", type=int, default=1)
+    s.add_argument("--seed", type=int, default=0)
+    s.set_defaults(func=_cmd_simulate)
+
+    v = sub.add_parser("validate",
+                       help="Monte Carlo check of the Eq. 5 expected error")
+    v.add_argument("--systems", type=int, default=16)
+    v.add_argument("--p", type=float, default=0.05)
+    v.add_argument("--ms", default="8,5,4,2")
+    v.add_argument("--errors", default="4e-3,5e-4,6e-5,1e-7")
+    v.add_argument("--trials", type=int, default=100_000)
+    v.add_argument("--seed", type=int, default=0)
+    v.set_defaults(func=_cmd_validate)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, FileNotFoundError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

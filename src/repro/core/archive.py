@@ -1,0 +1,242 @@
+"""Campaign archive management: many objects, one cluster.
+
+The RAPIDS pipeline handles one data object at a time; a real campaign
+stores hundreds (every variable of every snapshot).  The archive layer
+batches preparation, tracks aggregate storage accounting, assesses the
+whole archive's health after outages, and orchestrates repairs —
+re-encoding lost fragments from survivors (§4.2's repair path) across
+every object at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ec import ECConfig
+from ..storage import StoredFragment
+from .gathering import recoverable_levels
+from .pipeline import RAPIDS, PrepareReport
+
+__all__ = ["Archive", "ArchiveHealth", "ObjectHealth"]
+
+
+@dataclass
+class ObjectHealth:
+    """Health of one archived object under the current failures."""
+
+    name: str
+    levels_total: int
+    levels_recoverable: int
+    best_error: float
+    fragments_lost: int
+
+    @property
+    def fully_healthy(self) -> bool:
+        return self.levels_recoverable == self.levels_total
+
+    @property
+    def dark(self) -> bool:
+        """True when not even level 1 is recoverable."""
+        return self.levels_recoverable == 0
+
+
+@dataclass
+class ArchiveHealth:
+    """Aggregate archive health report."""
+
+    objects: list[ObjectHealth] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.objects)
+
+    @property
+    def fully_healthy(self) -> int:
+        return sum(o.fully_healthy for o in self.objects)
+
+    @property
+    def degraded(self) -> int:
+        return sum((not o.fully_healthy) and (not o.dark) for o in self.objects)
+
+    @property
+    def dark(self) -> int:
+        return sum(o.dark for o in self.objects)
+
+    @property
+    def worst_error(self) -> float:
+        return max((o.best_error for o in self.objects), default=0.0)
+
+
+class Archive:
+    """Multi-object archive over one RAPIDS pipeline instance."""
+
+    def __init__(self, rapids: RAPIDS) -> None:
+        self.rapids = rapids
+
+    # -- ingestion ---------------------------------------------------------
+
+    def ingest(
+        self, objects: dict[str, np.ndarray], **prepare_kwargs
+    ) -> dict[str, PrepareReport]:
+        """Prepare every object; returns per-object reports."""
+        if not objects:
+            raise ValueError("nothing to ingest")
+        out = {}
+        for name, data in objects.items():
+            out[name] = self.rapids.prepare(name, data, **prepare_kwargs)
+        return out
+
+    def names(self) -> list[str]:
+        return self.rapids.catalog.list_objects()
+
+    # -- accounting -----------------------------------------------------------
+
+    def stored_bytes(self) -> int:
+        """Total bytes resident across the cluster for all objects."""
+        return self.rapids.cluster.total_stored_bytes()
+
+    def storage_overhead(self) -> float:
+        """Aggregate parity overhead across the archive (Eq. 6 summed)."""
+        total_parity = 0.0
+        total_original = 0.0
+        n = self.rapids.cluster.n
+        for name in self.names():
+            rec = self.rapids.catalog.get_object(name)
+            for s, m in zip(rec.level_sizes, rec.ft_config):
+                total_parity += m / (n - m) * s
+            total_original += float(np.prod(rec.shape)) * np.dtype(
+                rec.dtype
+            ).itemsize
+        return total_parity / total_original if total_original else 0.0
+
+    # -- health ------------------------------------------------------------------
+
+    def health(self) -> ArchiveHealth:
+        """Assess every object against the cluster's current failures."""
+        failed = self.rapids.cluster.failed_ids()
+        n = self.rapids.cluster.n
+        report = ArchiveHealth()
+        for name in self.names():
+            rec = self.rapids.catalog.get_object(name)
+            levels = recoverable_levels(rec.ft_config, failed, n)
+            lost = 0
+            for j in range(rec.num_levels):
+                present = self.rapids.cluster.locate(name, j)
+                lost += n - len(present)
+            best = rec.level_errors[len(levels) - 1] if levels else 1.0
+            report.objects.append(
+                ObjectHealth(
+                    name=name,
+                    levels_total=rec.num_levels,
+                    levels_recoverable=len(levels),
+                    best_error=best,
+                    fragments_lost=lost,
+                )
+            )
+        return report
+
+    # -- integrity scrub (fsck) ---------------------------------------------------
+
+    def scrub(self, *, repair_corrupt: bool = True) -> dict:
+        """Verify every reachable fragment against its catalog checksum.
+
+        The background integrity pass a production archive runs: walk
+        all fragments on available systems, CRC-check each, and (by
+        default) rebuild corrupt ones in place from clean survivors.
+        Returns ``{"checked", "corrupt", "repaired"}`` counts.
+        """
+        from ..formats import crc32, verify
+
+        n = self.rapids.cluster.n
+        checked = corrupt = repaired = 0
+        for name in self.names():
+            rec = self.rapids.catalog.get_object(name)
+            for level in range(rec.num_levels):
+                cfg = ECConfig(n, rec.ft_config[level])
+                present = self.rapids.cluster.locate(name, level)
+                bad: list[int] = []
+                clean: dict[int, np.ndarray] = {}
+                for idx in sorted(present):
+                    frag = self.rapids.cluster.fetch(name, level, idx)
+                    checked += 1
+                    try:
+                        expected = self.rapids.catalog.get_fragment(
+                            name, level, idx
+                        ).checksum
+                    except KeyError:
+                        expected = 0
+                    if expected and not verify(frag.payload, expected):
+                        corrupt += 1
+                        bad.append(idx)
+                    elif len(clean) < cfg.k:
+                        clean[idx] = np.frombuffer(frag.payload, np.uint8)
+                if not bad or not repair_corrupt:
+                    continue
+                if len(clean) < cfg.k:
+                    continue  # not enough clean fragments to rebuild from
+                for idx in bad:
+                    rebuilt = self.rapids.codec.repair_fragment(
+                        cfg, clean, idx
+                    )
+                    self.rapids.cluster[idx].put(
+                        StoredFragment(
+                            name, level, idx, rebuilt.nbytes,
+                            rebuilt.tobytes(),
+                        )
+                    )
+                    # refresh the checksum record (defensive: it should
+                    # already match the original fragment's)
+                    frag_rec = self.rapids.catalog.get_fragment(
+                        name, level, idx
+                    )
+                    frag_rec.checksum = crc32(rebuilt.tobytes())
+                    self.rapids.catalog.put_fragment(frag_rec)
+                    repaired += 1
+        return {"checked": checked, "corrupt": corrupt, "repaired": repaired}
+
+    # -- repair --------------------------------------------------------------------
+
+    def repair(self) -> int:
+        """Rebuild every missing fragment reachable from survivors.
+
+        Fragments whose level has fewer than k survivors are skipped
+        (unrecoverable until more systems return).  Returns the number
+        of fragments rebuilt.  Repaired fragments go back to their home
+        system (fragment i on system i) when it is up.
+        """
+        n = self.rapids.cluster.n
+        rebuilt = 0
+        for name in self.names():
+            rec = self.rapids.catalog.get_object(name)
+            for level in range(rec.num_levels):
+                cfg = ECConfig(n, rec.ft_config[level])
+                present = self.rapids.cluster.locate(name, level)
+                missing = [i for i in range(n) if i not in present]
+                if not missing or len(present) < cfg.k:
+                    continue
+                source_idx = sorted(present)[: cfg.k]
+                sources = {
+                    idx: np.frombuffer(
+                        self.rapids.cluster.fetch(name, level, idx).payload,
+                        dtype=np.uint8,
+                    )
+                    for idx in source_idx
+                }
+                for target in missing:
+                    if not self.rapids.cluster[target].available:
+                        continue
+                    frag = self.rapids.codec.repair_fragment(
+                        cfg, sources, target
+                    )
+                    self.rapids.cluster[target].put(
+                        StoredFragment(
+                            name, level, target, frag.nbytes, frag.tobytes()
+                        )
+                    )
+                    self.rapids.catalog.relocate_fragment(
+                        name, level, target, target
+                    )
+                    rebuilt += 1
+        return rebuilt

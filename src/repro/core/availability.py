@@ -1,0 +1,145 @@
+"""Availability and expected-error models (Eqs. 1, 2, 4 and 5).
+
+All formulas assume ``n`` independently operated storage systems, each
+unavailable with probability ``p`` (i.i.d. Bernoulli outages, §2.1).
+Binomial tails are computed with scipy's regularised beta survival
+function rather than explicit binomial sums, which stays numerically
+stable for the large-n sweeps in the Fig. 2 bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+__all__ = [
+    "prob_more_than_k_failures",
+    "duplication_unavailability",
+    "ec_unavailability",
+    "level_recovery_probability",
+    "expected_relative_error",
+    "duplication_storage_overhead",
+    "ec_storage_overhead",
+    "refactored_storage_overhead",
+]
+
+
+def _check_np(n: int, p: float) -> None:
+    if n < 1:
+        raise ValueError(f"need at least one system, got n={n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be a probability, got {p}")
+
+
+def prob_more_than_k_failures(n: int, k: int, p: float) -> float:
+    """P(N > k) for N ~ Binomial(n, p)."""
+    _check_np(n, p)
+    if k >= n:
+        return 0.0
+    if k < 0:
+        return 1.0
+    return float(stats.binom.sf(k, n, p))
+
+
+def duplication_unavailability(n: int, m: int, p: float) -> float:
+    """Eq. 1: P(unavailable) with ``m`` replicas on ``m`` of ``n`` systems.
+
+    The data is lost exactly when all m replica hosts are down, and the
+    binomial sum in Eq. 1 marginalises over how many of the other n - m
+    systems also failed — so it collapses to p**m.
+    """
+    _check_np(n, p)
+    if not 1 <= m <= n:
+        raise ValueError(f"need 1 <= m <= n, got m={m}")
+    return float(p**m)
+
+
+def ec_unavailability(n: int, m: int, p: float) -> float:
+    """Eq. 2: P(unavailable) for an EC code with m parity on n systems."""
+    _check_np(n, p)
+    if not 0 <= m < n:
+        raise ValueError(f"need 0 <= m < n, got m={m}")
+    return prob_more_than_k_failures(n, m, p)
+
+
+def level_recovery_probability(n: int, m_j: int, m_next: int, p: float) -> float:
+    """Eq. 4: P(m_next < N <= m_j) — the data reconstructs with error e_j.
+
+    ``m_next`` is m_{j+1}; pass -1 for the bottom level so the band
+    includes N = 0.
+    """
+    _check_np(n, p)
+    if m_next >= m_j:
+        raise ValueError(f"need m_next < m_j, got {m_next} >= {m_j}")
+    return float(stats.binom.cdf(m_j, n, p) - stats.binom.cdf(m_next, n, p))
+
+
+def expected_relative_error(
+    n: int, p: float, ms: list[int], errors: list[float], *, e0: float = 1.0
+) -> float:
+    """Eq. 5: expectation of the relative L-infinity error.
+
+    Parameters
+    ----------
+    ms:
+        Fault-tolerance configuration [m_1, ..., m_l], strictly
+        decreasing, with n > m_1 and m_l >= 1.
+    errors:
+        [e_1, ..., e_l]: error when reconstructing with levels 1..j.
+    e0:
+        Penalty error when no level is recoverable (1.0 in the paper).
+    """
+    _check_np(n, p)
+    if len(ms) != len(errors):
+        raise ValueError("ms and errors must align")
+    if not ms:
+        raise ValueError("need at least one level")
+    if any(a <= b for a, b in zip(ms, ms[1:])):
+        raise ValueError(f"ms must be strictly decreasing, got {ms}")
+    if ms[0] >= n or ms[-1] < 1:
+        raise ValueError(f"need n > m_1 and m_l >= 1, got {ms} with n={n}")
+    total = e0 * prob_more_than_k_failures(n, ms[0], p)
+    # Bottom level: N <= m_l.
+    total += errors[-1] * float(stats.binom.cdf(ms[-1], n, p))
+    for j in range(len(ms) - 1):
+        total += errors[j] * level_recovery_probability(n, ms[j], ms[j + 1], p)
+    return float(total)
+
+
+# -- storage overheads (ratio of redundant bytes to original bytes) --------
+
+
+def duplication_storage_overhead(m: int) -> float:
+    """DP with m replicas total stores m - 1 redundant copies."""
+    if m < 1:
+        raise ValueError("need at least the original copy")
+    return float(m - 1)
+
+
+def ec_storage_overhead(k: int, m: int) -> float:
+    """Plain EC with k data + m parity fragments wastes m/k."""
+    if k < 1 or m < 0:
+        raise ValueError(f"invalid EC config k={k}, m={m}")
+    return m / k
+
+
+def refactored_storage_overhead(
+    sizes: list[float], ms: list[int], n: int, original_size: float
+) -> float:
+    """Eq. 6 numerator over S: sum_j (m_j / (n - m_j)) s_j / S.
+
+    Note the paper counts only *parity* bytes as overhead, consistent
+    with its definition for plain EC; the refactored data fragments
+    themselves are smaller than the original data, which is where the
+    additional savings beyond Eq. 6 come from.
+    """
+    if len(sizes) != len(ms):
+        raise ValueError("sizes and ms must align")
+    if original_size <= 0:
+        raise ValueError("original_size must be positive")
+    total = 0.0
+    for s, m in zip(sizes, ms):
+        if not 0 <= m < n:
+            raise ValueError(f"invalid m={m} for n={n}")
+        total += m / (n - m) * s
+    return total / original_size

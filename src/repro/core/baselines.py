@@ -1,0 +1,187 @@
+"""Baseline methods: data duplication (DP) and plain erasure coding (EC).
+
+These are the two existing approaches RAPIDS is evaluated against
+(§2.1, §5.2).  Both implement the same prepare/restore interface as the
+RAPIDS pipeline so every bench can sweep the three methods uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ec import ErasureCodec
+from ..storage import StorageCluster
+from ..transfer import (
+    TransferRequest,
+    duplication_distribution,
+    ec_distribution,
+    phase_latency,
+)
+from .availability import (
+    duplication_storage_overhead,
+    duplication_unavailability,
+    ec_storage_overhead,
+    ec_unavailability,
+)
+
+__all__ = ["MethodReport", "DuplicationMethod", "PlainECMethod"]
+
+
+@dataclass
+class MethodReport:
+    """Common accounting emitted by every method's prepare/restore."""
+
+    method: str
+    storage_overhead: float
+    network_bytes: float
+    distribution_latency: float = 0.0
+    gathering_latency: float = 0.0
+    expected_error: float = float("nan")
+    timings: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+
+
+class DuplicationMethod:
+    """Keep ``replicas`` full copies (original + extras) on m of n systems."""
+
+    name = "DP"
+
+    def __init__(self, replicas: int = 3) -> None:
+        if replicas < 2:
+            raise ValueError("duplication needs at least 2 replicas")
+        self.replicas = replicas
+
+    def expected_error(self, n: int, p: float) -> float:
+        """E[e] = 1.0 * P(unavailable): the data is all-or-nothing."""
+        return duplication_unavailability(n, self.replicas, p)
+
+    def prepare(
+        self,
+        data_bytes: float,
+        bandwidths: np.ndarray,
+        *,
+        n: int | None = None,
+        p: float = 0.01,
+    ) -> MethodReport:
+        """Distribute the extra copies; returns overhead/latency accounting."""
+        n = n if n is not None else len(bandwidths)
+        reqs = duplication_distribution(data_bytes, self.replicas - 1, bandwidths)
+        res = phase_latency(reqs, bandwidths)
+        return MethodReport(
+            method=self.name,
+            storage_overhead=duplication_storage_overhead(self.replicas),
+            network_bytes=res.total_bytes,
+            distribution_latency=res.makespan,
+            expected_error=self.expected_error(n, p),
+        )
+
+    def restore(
+        self,
+        data_bytes: float,
+        bandwidths: np.ndarray,
+        *,
+        failed: list[int] | None = None,
+    ) -> MethodReport:
+        """Pull one replica from the fastest surviving replica holder."""
+        failed = set(failed or [])
+        order = np.argsort(bandwidths)[::-1]
+        holders = [int(i) for i in order[: self.replicas - 1]]
+        alive = [i for i in holders if i not in failed]
+        if not alive:
+            raise RuntimeError("all replica holders are unavailable")
+        src = alive[0]
+        res = phase_latency([TransferRequest(src, data_bytes)], bandwidths)
+        return MethodReport(
+            method=self.name,
+            storage_overhead=duplication_storage_overhead(self.replicas),
+            network_bytes=data_bytes,
+            gathering_latency=res.makespan,
+        )
+
+
+class PlainECMethod:
+    """A single (k, m) Reed-Solomon code over the whole object."""
+
+    name = "EC"
+
+    def __init__(self, k: int = 12, m: int = 4) -> None:
+        if k < 1 or m < 0:
+            raise ValueError(f"invalid EC parameters k={k}, m={m}")
+        self.k = k
+        self.m = m
+        self.codec = ErasureCodec(k + m)
+
+    @property
+    def n_fragments(self) -> int:
+        return self.k + self.m
+
+    def expected_error(self, n: int, p: float) -> float:
+        """E[e] = 1.0 * P(more than m concurrent failures)."""
+        return ec_unavailability(n, self.m, p)
+
+    def prepare(
+        self,
+        data_bytes: float,
+        bandwidths: np.ndarray,
+        *,
+        n: int | None = None,
+        p: float = 0.01,
+    ) -> MethodReport:
+        n = n if n is not None else len(bandwidths)
+        reqs = ec_distribution(data_bytes, self.k, self.m, bandwidths)
+        res = phase_latency(reqs, bandwidths)
+        return MethodReport(
+            method=self.name,
+            storage_overhead=ec_storage_overhead(self.k, self.m),
+            network_bytes=res.total_bytes,
+            distribution_latency=res.makespan,
+            expected_error=self.expected_error(n, p),
+        )
+
+    def restore(
+        self,
+        data_bytes: float,
+        bandwidths: np.ndarray,
+        *,
+        failed: list[int] | None = None,
+    ) -> MethodReport:
+        """Gather k fragments from the fastest surviving systems."""
+        failed = set(failed or [])
+        alive = [i for i in range(self.n_fragments) if i not in failed]
+        if len(alive) < self.k:
+            raise RuntimeError(
+                f"only {len(alive)} fragments reachable, need {self.k}"
+            )
+        order = sorted(alive, key=lambda i: -bandwidths[i])[: self.k]
+        frag = data_bytes / self.k
+        res = phase_latency(
+            [TransferRequest(i, frag) for i in order], bandwidths
+        )
+        return MethodReport(
+            method=self.name,
+            storage_overhead=ec_storage_overhead(self.k, self.m),
+            network_bytes=frag * self.k,
+            gathering_latency=res.makespan,
+        )
+
+    # -- physical encode/decode (used by the end-to-end tests) ------------
+
+    def encode_to_cluster(
+        self, name: str, payload: bytes, cluster: StorageCluster
+    ) -> None:
+        enc = self.codec.encode_level(payload, self.m, level_index=0)
+        cluster.place_level(name, 0, [f.tobytes() for f in enc.fragments])
+
+    def decode_from_cluster(self, name: str, cluster: StorageCluster) -> bytes:
+        loc = cluster.locate(name, 0)
+        frags: dict[int, np.ndarray] = {}
+        for idx in sorted(loc)[: self.k]:
+            sf = cluster.fetch(name, 0, idx)
+            frags[idx] = np.frombuffer(sf.payload, dtype=np.uint8)
+        from ..ec import ECConfig
+
+        return self.codec.decode_level(
+            config=ECConfig(self.n_fragments, self.m), fragments=frags
+        )

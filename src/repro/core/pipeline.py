@@ -1,0 +1,520 @@
+"""The RAPIDS pipeline: the paper's four components wired together (§4).
+
+``prepare`` runs the data preparation phase — read, refactor (pMGARD
+substitute), fault-tolerance optimisation (Algorithm 1), erasure coding
+per level, fragment-file writes, metadata registration, and WAN
+distribution — and ``restore`` runs the restoration phase — gathering
+optimisation, fragment gathering, erasure decoding, and progressive
+reconstruction.  Every step is individually timed so the Fig. 5/6
+per-operation breakdowns fall out of the reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..ec import ECConfig, ErasureCodec
+from ..formats import write_fragment_file
+from ..metadata import FragmentRecord, MetadataCatalog, ObjectRecord
+from ..refactor import Refactorer
+from ..storage import StorageCluster
+from ..transfer import phase_latency, refactored_distribution
+from .availability import expected_relative_error, refactored_storage_overhead
+from .ft_optimizer import FTProblem, FTSolution, heuristic
+from .gathering import (
+    GatheringOutcome,
+    gathering_latency,
+    naive_strategy,
+    optimized_strategy,
+    random_strategy,
+    recoverable_levels,
+)
+
+__all__ = ["RAPIDS", "PrepareReport", "RestoreReport"]
+
+
+@dataclass
+class PrepareReport:
+    """Everything the preparation phase produced and how long it took."""
+
+    name: str
+    ft_config: list[int]
+    level_sizes: list[int]
+    level_errors: list[float]
+    storage_overhead: float
+    expected_error: float
+    distribution_latency: float
+    network_bytes: float
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.timings.values())
+
+
+@dataclass
+class RestoreReport:
+    """Result of the restoration phase."""
+
+    name: str
+    data: np.ndarray | None
+    levels_used: int
+    achieved_error: float
+    gathering_latency: float
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.timings.values())
+
+
+class RAPIDS:
+    """The full RAPIDS system over a storage cluster and metadata catalog.
+
+    Parameters
+    ----------
+    cluster:
+        The geo-distributed storage systems (with bandwidth estimates).
+    catalog:
+        Metadata catalog; owns reconstruction info and fragment locations.
+    refactorer:
+        The progressive refactorer (defaults to 4 components).
+    omega:
+        Storage-overhead budget for the FT optimiser (Eq. 6).
+    p:
+        Per-system outage probability (0.01 per the OLCF report).
+    """
+
+    def __init__(
+        self,
+        cluster: StorageCluster,
+        catalog: MetadataCatalog,
+        *,
+        refactorer: Refactorer | None = None,
+        omega: float = 0.25,
+        p: float = 0.01,
+    ) -> None:
+        self.cluster = cluster
+        self.catalog = catalog
+        self.refactorer = refactorer or Refactorer(4)
+        self.omega = omega
+        self.p = p
+        self.codec = ErasureCodec(cluster.n)
+
+    # -- preparation phase -------------------------------------------------
+
+    def prepare(
+        self,
+        name: str,
+        data: np.ndarray,
+        *,
+        fragment_dir: str | Path | None = None,
+        distribute: bool = True,
+        transfer_service=None,
+    ) -> PrepareReport:
+        """Run the full data-preparation phase for one data object.
+
+        ``fragment_dir`` additionally writes every fragment to a
+        self-describing file (the HDF5/ADIOS step of §4.1); fragments are
+        always placed into the cluster when ``distribute`` is true.
+
+        ``transfer_service`` optionally routes the distribution through a
+        :class:`repro.transfer.globus.GlobusService` (one bundled task
+        per destination, §4.2 style) instead of the closed-form latency
+        model; failed tasks are retried until delivered and the service's
+        clock advance is reported as the distribution latency.
+        """
+        timings: dict[str, float] = {}
+
+        t0 = time.perf_counter()
+        data = np.ascontiguousarray(data)
+        timings["read"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        obj = self.refactorer.refactor(data)
+        timings["refactor"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        sol = self._optimize_ft(obj.sizes, obj.errors, data.nbytes)
+        timings["ft_optimize"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        encoded = [
+            self.codec.encode_level(payload, m, level_index=j)
+            for j, (payload, m) in enumerate(zip(obj.payloads, sol.ms))
+        ]
+        timings["ec_encode"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        if fragment_dir is not None:
+            self._write_fragment_files(name, encoded, Path(fragment_dir))
+        timings["write"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        self._register(name, obj, sol)
+        from ..formats import crc32
+
+        for j, enc in enumerate(encoded):
+            if distribute:
+                self.cluster.place_level(
+                    name, j, [f.tobytes() for f in enc.fragments]
+                )
+            for idx, frag in enumerate(enc.fragments):
+                self.catalog.put_fragment(
+                    FragmentRecord(
+                        name, j, idx, idx, int(frag.nbytes),
+                        checksum=crc32(frag.tobytes()),
+                    )
+                )
+        timings["metadata"] = time.perf_counter() - t0
+
+        dist_latency = 0.0
+        network_bytes = 0.0
+        if distribute:
+            reqs = refactored_distribution(
+                [float(s) for s in obj.sizes], sol.ms, self.cluster.n,
+                self.cluster.bandwidths,
+            )
+            if transfer_service is not None:
+                dist_latency, network_bytes = self._distribute_via_service(
+                    name, reqs, transfer_service
+                )
+            else:
+                res = phase_latency(reqs, self.cluster.bandwidths)
+                dist_latency = res.makespan
+                network_bytes = res.total_bytes
+
+        return PrepareReport(
+            name=name,
+            ft_config=sol.ms,
+            level_sizes=obj.sizes,
+            level_errors=obj.errors,
+            storage_overhead=refactored_storage_overhead(
+                [float(s) for s in obj.sizes], sol.ms, self.cluster.n,
+                data.nbytes,
+            ),
+            expected_error=sol.expected_error,
+            distribution_latency=dist_latency,
+            network_bytes=network_bytes,
+            timings=timings,
+        )
+
+    def _distribute_via_service(self, name, reqs, service) -> tuple[float, float]:
+        """Push one bundled task per destination through a GlobusService,
+        retrying failures until everything is delivered (§4.2)."""
+        from ..transfer.globus import TaskStatus
+
+        start_clock = service.clock
+        #: local source endpoint: model the user site as destination 0's
+        #: peer — the service only needs *a* source id; contention among
+        #: these submissions models the shared uplink.
+        source = 0
+        pending = {
+            service.submit(source, r.system_id, r.nbytes, label=f"{name}->{r.system_id}"): r
+            for r in reqs
+        }
+        total = sum(r.nbytes for r in reqs)
+        for _ in range(32):
+            service.wait_all()
+            retry = {}
+            for tid, r in pending.items():
+                if service.status(tid) is TaskStatus.FAILED:
+                    retry[
+                        service.submit(
+                            source, r.system_id, r.nbytes,
+                            label=f"{name}->{r.system_id} retry",
+                        )
+                    ] = r
+                    total += r.nbytes
+            pending = retry
+            if not pending:
+                break
+        else:
+            raise RuntimeError(f"distribution of {name!r} kept failing")
+        return service.clock - start_clock, total
+
+    def _optimize_ft(
+        self, sizes: list[int], errors: list[float], original_size: int
+    ) -> FTSolution:
+        problem = FTProblem(
+            n=self.cluster.n,
+            p=self.p,
+            sizes=tuple(float(s) for s in sizes),
+            errors=tuple(errors),
+            original_size=float(original_size),
+            omega=self.omega,
+        )
+        return heuristic(problem)
+
+    def _write_fragment_files(self, name, encoded, outdir: Path) -> None:
+        outdir.mkdir(parents=True, exist_ok=True)
+        safe = name.replace("/", "_").replace(":", "_")
+        for j, enc in enumerate(encoded):
+            for idx, frag in enumerate(enc.fragments):
+                write_fragment_file(
+                    outdir / f"{safe}.l{j}.f{idx}.rdc",
+                    frag.tobytes(),
+                    object_name=name,
+                    level=j,
+                    index=idx,
+                    k=enc.config.k,
+                    m=enc.config.m,
+                )
+
+    def _register(self, name, obj, sol: FTSolution) -> None:
+        self.catalog.put_object(
+            ObjectRecord(
+                name=name,
+                shape=list(obj.shape),
+                dtype=obj.dtype,
+                level_sizes=obj.sizes,
+                level_errors=obj.errors,
+                ft_config=sol.ms,
+                n_systems=self.cluster.n,
+                data_max=obj.data_max,
+                correction=obj.correction,
+                extra={
+                    "plans": [
+                        [list(p.fine_shape), list(p.coarse_shape), list(p.coarsened_axes)]
+                        for p in obj.plans
+                    ],
+                    "expected_error": sol.expected_error,
+                },
+            )
+        )
+
+    # -- restoration phase ---------------------------------------------------
+
+    def restore(
+        self,
+        name: str,
+        *,
+        strategy: str = "optimized",
+        solver_budget: float = 1.0,
+        charged_solver_time: float | None = None,
+        seed: int | None = 0,
+        target_error: float | None = None,
+    ) -> RestoreReport:
+        """Run the restoration phase against the cluster's current failures.
+
+        ``strategy`` is one of ``random`` / ``naive`` / ``optimized``.
+        Restores as many levels as the surviving systems allow and
+        reconstructs the best available approximation.
+
+        ``target_error`` enables error-controlled retrieval: only the
+        level prefix whose recorded error meets the target is gathered,
+        saving the (dominant) lower-level transfer bytes when the
+        analysis tolerates a looser accuracy.
+        """
+        timings: dict[str, float] = {}
+        rec = self.catalog.get_object(name)
+        failed = self.cluster.failed_ids()
+        n = self.cluster.n
+
+        levels = recoverable_levels(rec.ft_config, failed, n)
+        if target_error is not None and levels:
+            if target_error <= 0:
+                raise ValueError("target_error must be positive")
+            needed = next(
+                (
+                    j + 1
+                    for j, e in enumerate(rec.level_errors)
+                    if e <= target_error
+                ),
+                len(rec.level_errors),
+            )
+            levels = levels[:needed]
+        if not levels:
+            return RestoreReport(
+                name=name, data=None, levels_used=0, achieved_error=1.0,
+                gathering_latency=0.0, timings={"gather_optimize": 0.0},
+            )
+
+        sizes = [float(s) for s in rec.level_sizes]
+        t0 = time.perf_counter()
+        outcome = self._select(strategy, sizes, rec.ft_config, failed,
+                               solver_budget, charged_solver_time, seed,
+                               max_levels=len(levels))
+        timings["gather_optimize"] = time.perf_counter() - t0
+        # §4.3: record each selected transfer's (simulated) throughput so
+        # future gathering optimisations adapt to bandwidth variation.
+        self._record_throughputs(outcome)
+
+        t0 = time.perf_counter()
+        gathered = self._gather(name, outcome, rec)
+        timings["gather"] = time.perf_counter() - t0
+        latency = gathering_latency(
+            outcome, sizes, rec.ft_config, self.cluster.bandwidths
+        )
+
+        t0 = time.perf_counter()
+        payloads = []
+        for col, j in enumerate(sorted(outcome.levels_included)):
+            cfg = ECConfig(n, rec.ft_config[j])
+            payloads.append(
+                self.codec.decode_level(config=cfg, fragments=gathered[j])
+            )
+        timings["ec_decode"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        data = self._reconstruct(rec, payloads)
+        timings["reconstruct"] = time.perf_counter() - t0
+
+        used = len(payloads)
+        achieved = rec.level_errors[used - 1]
+        return RestoreReport(
+            name=name,
+            data=data,
+            levels_used=used,
+            achieved_error=achieved,
+            gathering_latency=latency,
+            timings=timings,
+        )
+
+    def restore_progressive(
+        self,
+        name: str,
+        *,
+        strategy: str = "naive",
+        solver_budget: float = 1.0,
+        seed: int | None = 0,
+    ):
+        """Generator yielding successively refined reconstructions.
+
+        Yields one :class:`RestoreReport` per recoverable level, in
+        order — the Fig. 1(b) refinement loop: the first (tiny) level
+        arrives quickly as a preview, and each further yield folds in
+        the next level's fragments.  ``gathering_latency`` on the j-th
+        yield accounts the transfers for levels 1..j only, so callers
+        can plot quality-vs-time curves.
+        """
+        rec = self.catalog.get_object(name)
+        failed = self.cluster.failed_ids()
+        total = len(
+            recoverable_levels(rec.ft_config, failed, self.cluster.n)
+        )
+        for j in range(1, total + 1):
+            yield self.restore(
+                name,
+                strategy=strategy,
+                solver_budget=solver_budget,
+                seed=seed,
+                target_error=rec.level_errors[j - 1],
+            )
+
+    def _record_throughputs(self, outcome: GatheringOutcome) -> None:
+        per_system = outcome.x.sum(axis=1)
+        bw = self.cluster.bandwidths
+        for i in np.nonzero(per_system)[0]:
+            # equal-share model: each of the c_i requests saw B_i / c_i,
+            # and the component de-contends to the endpoint bandwidth.
+            self.catalog.record_throughput(int(i), float(bw[i]))
+
+    def _select(
+        self, strategy, sizes, ms, failed, budget, charged, seed,
+        *, max_levels: int | None = None,
+    ) -> GatheringOutcome:
+        if strategy == "adaptive":
+            # use catalog EWMA estimates where history exists
+            from .adaptive import BandwidthTracker
+
+            tracker = BandwidthTracker(self.catalog, self.cluster.bandwidths)
+            bw = tracker.estimates()
+            return optimized_strategy(
+                sizes, ms, bw, failed,
+                time_budget=budget, charged_time=charged, seed=seed,
+                max_levels=max_levels,
+            )
+        bw = self.cluster.bandwidths
+        if strategy == "random":
+            return random_strategy(
+                sizes, ms, bw, failed, seed=seed, max_levels=max_levels
+            )
+        if strategy == "naive":
+            return naive_strategy(sizes, ms, bw, failed, max_levels=max_levels)
+        if strategy == "optimized":
+            return optimized_strategy(
+                sizes, ms, bw, failed,
+                time_budget=budget, charged_time=charged, seed=seed,
+                max_levels=max_levels,
+            )
+        raise ValueError(f"unknown gathering strategy: {strategy!r}")
+
+    def _gather(
+        self, name: str, outcome: GatheringOutcome, rec: ObjectRecord
+    ) -> dict[int, dict[int, np.ndarray]]:
+        """Fetch the selected fragments, verifying integrity.
+
+        Fragment index i lives on system i (the default placement), so
+        selecting system i for level j means fetching fragment i of j.
+        A fragment whose checksum no longer matches its metadata record
+        (bit rot, torn write) is treated as an *erasure*: it is dropped
+        and replaced by a fragment from a spare available system, which
+        the EC math tolerates exactly like an outage.
+        """
+        from ..formats import verify
+
+        out: dict[int, dict[int, np.ndarray]] = {}
+        for col, j in enumerate(sorted(outcome.levels_included)):
+            frags: dict[int, np.ndarray] = {}
+            corrupt: list[int] = []
+            for i in np.nonzero(outcome.x[:, col])[0]:
+                sf = self.cluster.fetch(name, j, int(i))
+                try:
+                    expected = self.catalog.get_fragment(name, j, int(i)).checksum
+                except KeyError:
+                    expected = 0
+                if expected and not verify(sf.payload, expected):
+                    corrupt.append(int(i))
+                    continue
+                frags[int(i)] = np.frombuffer(sf.payload, dtype=np.uint8)
+            if corrupt:
+                needed = self.cluster.n - rec.ft_config[j]
+                selected = set(np.nonzero(outcome.x[:, col])[0].tolist())
+                spares = [
+                    idx
+                    for idx, sid in self.cluster.locate(name, j).items()
+                    if idx not in selected
+                ]
+                for idx in spares:
+                    if len(frags) >= needed:
+                        break
+                    sf = self.cluster.fetch(name, j, idx)
+                    try:
+                        expected = self.catalog.get_fragment(name, j, idx).checksum
+                    except KeyError:
+                        expected = 0
+                    if expected and not verify(sf.payload, expected):
+                        continue
+                    frags[idx] = np.frombuffer(sf.payload, dtype=np.uint8)
+                if len(frags) < needed:
+                    raise RuntimeError(
+                        f"level {j} of {name!r}: {len(corrupt)} corrupt "
+                        "fragments and not enough clean spares to decode"
+                    )
+            out[j] = frags
+        return out
+
+    def _reconstruct(self, rec: ObjectRecord, payloads: list[bytes]) -> np.ndarray:
+        from ..refactor.grid import LevelPlan
+        from ..refactor.refactorer import RefactoredObject
+
+        plans = [
+            LevelPlan(tuple(f), tuple(c), tuple(a))
+            for f, c, a in rec.extra["plans"]
+        ]
+        obj = RefactoredObject(
+            shape=tuple(rec.shape),
+            dtype=rec.dtype,
+            plans=plans,
+            payloads=payloads,
+            errors=rec.level_errors[: len(payloads)],
+            bounds=[],
+            data_max=rec.data_max,
+            correction=rec.correction,
+        )
+        return self.refactorer.reconstruct(obj)

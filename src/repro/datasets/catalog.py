@@ -1,0 +1,71 @@
+"""The Table 2 dataset catalog.
+
+Registers the six evaluation data objects with their *paper-scale* byte
+sizes (used verbatim by the transfer/availability math, which only needs
+byte counts) and a local proxy generator producing a laptop-scale
+float32 field with the matching spectral character (used wherever real
+array contents are required: refactoring, EC round trips, accuracy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from . import synthetic
+
+__all__ = ["DataObject", "TABLE2", "get_object", "object_names"]
+
+TB = 1024**4
+
+
+@dataclass(frozen=True)
+class DataObject:
+    """One evaluation data object (a row of Table 2)."""
+
+    dataset: str
+    object_name: str
+    paper_bytes: float
+    generator: Callable[..., np.ndarray]
+    per_core_bytes: float
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.dataset}:{self.object_name}"
+
+    def proxy(self, shape=(64, 64, 64), *, seed: int | None = None) -> np.ndarray:
+        """A local-scale field with this object's character (seeded)."""
+        kwargs = {} if seed is None else {"seed": seed}
+        return self.generator(shape, **kwargs)
+
+
+#: The six objects of Table 2 with their reported total sizes.  Per-core
+#: sizes follow the paper's weak-scaling setup (32,768 cores; NYX is
+#: quoted at 512 MB/core, the others scale proportionally).
+TABLE2: list[DataObject] = [
+    DataObject("NYX", "temperature", 16 * TB, synthetic.nyx_temperature, 512 * 1024**2),
+    DataObject("NYX", "velocity_x", 16 * TB, synthetic.nyx_velocity, 512 * 1024**2),
+    DataObject("SCALE", "PRES", 16.82 * TB, synthetic.scale_pressure, 538.2 * 1024**2),
+    DataObject("SCALE", "T", 16.82 * TB, synthetic.scale_temperature, 538.2 * 1024**2),
+    DataObject("hurricane", "Pf48.bin", 2.98 * TB, synthetic.hurricane_pressure, 95.4 * 1024**2),
+    DataObject("hurricane", "TCf48.bin", 2.98 * TB, synthetic.hurricane_temperature, 95.4 * 1024**2),
+]
+
+_BY_NAME = {obj.full_name: obj for obj in TABLE2}
+
+
+def object_names() -> list[str]:
+    """Full names of the six Table 2 objects, in paper order."""
+    return [obj.full_name for obj in TABLE2]
+
+
+def get_object(full_name: str) -> DataObject:
+    """Look up a Table 2 object by ``dataset:object`` name."""
+    try:
+        return _BY_NAME[full_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown data object {full_name!r}; known: {object_names()}"
+        ) from None

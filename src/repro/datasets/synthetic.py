@@ -1,0 +1,142 @@
+"""Synthetic scientific datasets (NYX / SCALE-LETKF / Hurricane substitutes).
+
+The real evaluation datasets are multi-terabyte 3-D float32 fields from
+cosmology (NYX), weather (SCALE-LETKF) and climate (Hurricane Isabel)
+simulations.  What the refactorer cares about is their *spectral
+character* — smooth large-scale structure with power-law small-scale
+content — so each generator below synthesises a seeded 3-D float32 field
+with the qualitative signature of its namesake:
+
+* :func:`gaussian_random_field` — the shared engine: FFT-filtered white
+  noise with a ``k**(-slope/2)`` amplitude spectrum.
+* :func:`nyx_temperature` / :func:`nyx_velocity` — lognormal-contrast
+  cosmological density-like field / smoother velocity component.
+* :func:`scale_pressure` / :func:`scale_temperature` — stratified
+  atmosphere: strong vertical gradient plus GRF weather perturbations.
+* :func:`hurricane_pressure` / :func:`hurricane_temperature` — an
+  idealised vortex (pressure minimum, warm core) plus GRF turbulence.
+
+All generators accept ``shape`` and ``seed`` and are deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "gaussian_random_field",
+    "nyx_temperature",
+    "nyx_velocity",
+    "scale_pressure",
+    "scale_temperature",
+    "hurricane_pressure",
+    "hurricane_temperature",
+]
+
+
+def gaussian_random_field(
+    shape: tuple[int, ...],
+    *,
+    slope: float = 3.0,
+    seed: int = 0,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Isotropic Gaussian random field with power spectrum ~ k**-slope.
+
+    Unit variance, zero mean.  Larger ``slope`` means smoother fields
+    (more energy at large scales).
+    """
+    if any(n < 2 for n in shape):
+        raise ValueError(f"every axis needs >= 2 points, got {shape}")
+    if slope < 0:
+        raise ValueError("slope must be >= 0")
+    rng = np.random.default_rng(seed)
+    white = rng.normal(size=shape)
+    spec = np.fft.rfftn(white)
+    grids = np.meshgrid(
+        *[np.fft.fftfreq(n) for n in shape[:-1]],
+        np.fft.rfftfreq(shape[-1]),
+        indexing="ij",
+    )
+    k2 = sum(g**2 for g in grids)
+    k2[(0,) * len(shape)] = np.inf  # kill the DC mode
+    spec *= k2 ** (-slope / 4.0)  # amplitude ~ k**(-slope/2)
+    field = np.fft.irfftn(spec, s=shape, axes=tuple(range(len(shape))))
+    field -= field.mean()
+    std = field.std()
+    if std > 0:
+        field /= std
+    return field.astype(dtype)
+
+
+def nyx_temperature(shape=(64, 64, 64), *, seed: int = 0) -> np.ndarray:
+    """Cosmology-like baryon temperature: lognormal contrast over a GRF.
+
+    Reproduces the heavy-tailed positive field typical of NYX outputs
+    (temperature concentrated in collapsed structures).
+    """
+    base = gaussian_random_field(shape, slope=4.0, seed=seed, dtype=np.float64)
+    field = 1e4 * np.exp(0.8 * base)  # Kelvin-ish scale
+    return field.astype(np.float32)
+
+
+def nyx_velocity(shape=(64, 64, 64), *, seed: int = 1) -> np.ndarray:
+    """Cosmology-like velocity component: smoother, signed, ~100 km/s."""
+    base = gaussian_random_field(shape, slope=4.5, seed=seed, dtype=np.float64)
+    return (1e2 * base).astype(np.float32)
+
+
+def _vertical_profile(shape, surface: float, scale_height_frac: float):
+    """Exponential vertical decay along axis 0 (the model-level axis)."""
+    z = np.linspace(0.0, 1.0, shape[0])
+    profile = surface * np.exp(-z / scale_height_frac)
+    return profile[(slice(None),) + (None,) * (len(shape) - 1)]
+
+
+def scale_pressure(shape=(64, 64, 64), *, seed: int = 2) -> np.ndarray:
+    """Weather-model pressure: exponential stratification + perturbations."""
+    pert = gaussian_random_field(shape, slope=4.0, seed=seed, dtype=np.float64)
+    field = _vertical_profile(shape, 1.013e5, 0.45) * (1.0 + 0.02 * pert)
+    return field.astype(np.float32)
+
+
+def scale_temperature(shape=(64, 64, 64), *, seed: int = 3) -> np.ndarray:
+    """Weather-model temperature: lapse-rate profile + perturbations."""
+    z = np.linspace(0.0, 1.0, shape[0])
+    profile = 288.0 - 75.0 * z  # ~lapse to the model top
+    pert = gaussian_random_field(shape, slope=4.0, seed=seed, dtype=np.float64)
+    field = profile[(slice(None),) + (None,) * (len(shape) - 1)] + 3.0 * pert
+    return field.astype(np.float32)
+
+
+def _vortex(shape, *, seed: int, strength: float):
+    """A 2-D idealised vortex profile broadcast through the vertical axis."""
+    rng = np.random.default_rng(seed)
+    ny, nx = shape[-2], shape[-1]
+    cy, cx = rng.uniform(0.35, 0.65), rng.uniform(0.35, 0.65)
+    y = np.linspace(0, 1, ny)[:, None]
+    x = np.linspace(0, 1, nx)[None, :]
+    r2 = (y - cy) ** 2 + (x - cx) ** 2
+    core = np.exp(-r2 / 0.02)
+    decay = np.linspace(1.0, 0.3, shape[0])
+    return strength * decay[:, None, None] * core[None, :, :]
+
+
+def hurricane_pressure(shape=(64, 64, 64), *, seed: int = 4) -> np.ndarray:
+    """Hurricane-like pressure: ambient field minus a deep vortex core."""
+    pert = gaussian_random_field(shape, slope=4.2, seed=seed, dtype=np.float64)
+    field = 1.005e5 + 150.0 * pert - _vortex(shape, seed=seed + 100, strength=6e3)
+    return field.astype(np.float32)
+
+
+def hurricane_temperature(shape=(64, 64, 64), *, seed: int = 5) -> np.ndarray:
+    """Hurricane-like temperature: warm-core anomaly over a lapse profile."""
+    z = np.linspace(0.0, 1.0, shape[0])
+    profile = 300.0 - 70.0 * z
+    pert = gaussian_random_field(shape, slope=4.2, seed=seed, dtype=np.float64)
+    field = (
+        profile[:, None, None]
+        + 2.0 * pert
+        + _vortex(shape, seed=seed + 100, strength=8.0)
+    )
+    return field.astype(np.float32)

@@ -1,0 +1,19 @@
+"""Erasure-coding substrate: GF(256) arithmetic and systematic Reed-Solomon.
+
+Stand-in for ``liberasurecode`` in the original RAPIDS implementation.
+"""
+
+from .cauchy import CauchyRSCode
+from .codec import ECConfig, EncodedLevel, ErasureCodec
+from .reed_solomon import RSCode
+from .striping import StripedCode, StripedEncoding
+
+__all__ = [
+    "ECConfig",
+    "EncodedLevel",
+    "ErasureCodec",
+    "RSCode",
+    "CauchyRSCode",
+    "StripedCode",
+    "StripedEncoding",
+]

@@ -1,0 +1,121 @@
+"""Cauchy-matrix Reed-Solomon codes.
+
+An alternative MDS construction to the Vandermonde-derived systematic
+generator in :mod:`repro.ec.reed_solomon`: the parity block is a Cauchy
+matrix ``C[i, j] = 1 / (x_i + y_j)`` over GF(2^8) with distinct ``x_i``
+(parity points) and ``y_j`` (data points), ``x_i != y_j``.  Every square
+submatrix of a Cauchy matrix is invertible, so ``[I | C^T]^T`` is MDS by
+construction — no row reduction needed, and the parity coefficients are
+available in closed form (which is why liberasurecode's
+``jerasure_rs_cauchy`` backend favours this family).
+
+The class mirrors :class:`~repro.ec.reed_solomon.RSCode`'s interface so
+the two families are interchangeable and cross-checked in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import gf256, matrix
+from .reed_solomon import pad_to_fragments, unpad
+
+__all__ = ["CauchyRSCode", "cauchy_matrix"]
+
+
+def cauchy_matrix(xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    """The Cauchy matrix C[i, j] = 1 / (x_i + y_j) over GF(2^8).
+
+    Requires all ``x_i`` distinct, all ``y_j`` distinct, and the two
+    point sets disjoint (in characteristic 2, x + y = 0 iff x == y).
+    """
+    xs = np.asarray(xs, dtype=np.uint8)
+    ys = np.asarray(ys, dtype=np.uint8)
+    if len(set(xs.tolist())) != xs.size or len(set(ys.tolist())) != ys.size:
+        raise ValueError("Cauchy points must be distinct")
+    if set(xs.tolist()) & set(ys.tolist()):
+        raise ValueError("x and y point sets must be disjoint")
+    denom = np.bitwise_xor(xs[:, None], ys[None, :])
+    return gf256.inv(denom)
+
+
+@dataclass(frozen=True)
+class CauchyRSCode:
+    """A systematic (k, m) erasure code with a Cauchy parity block."""
+
+    k: int
+    m: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.m < 0:
+            raise ValueError(f"m must be >= 0, got {self.m}")
+        if self.k + self.m > 256:
+            raise ValueError(
+                f"k + m = {self.k + self.m} exceeds the GF(256) limit"
+            )
+        ys = np.arange(self.k, dtype=np.uint8)
+        xs = np.arange(self.k, self.k + self.m, dtype=np.uint8)
+        gen = np.concatenate(
+            [matrix.identity(self.k), cauchy_matrix(xs, ys)]
+            if self.m
+            else [matrix.identity(self.k)],
+            axis=0,
+        )
+        object.__setattr__(self, "_gen", gen)
+
+    @property
+    def n(self) -> int:
+        return self.k + self.m
+
+    @property
+    def generator(self) -> np.ndarray:
+        g = self._gen.view()
+        g.flags.writeable = False
+        return g
+
+    def encode(self, data: bytes | np.ndarray) -> list[np.ndarray]:
+        """Encode a payload into n fragments (data fragments verbatim)."""
+        shards = pad_to_fragments(data, self.k)
+        if self.m == 0:
+            return [shards[i] for i in range(self.k)]
+        parity = matrix.matmul(self._gen[self.k :], shards)
+        return [shards[i] for i in range(self.k)] + [
+            parity[i] for i in range(self.m)
+        ]
+
+    def decode(
+        self, fragments: dict[int, np.ndarray], *, payload_len: int | None = None
+    ) -> bytes:
+        """Recover the payload from any k fragments."""
+        if len(fragments) < self.k:
+            raise ValueError(
+                f"need at least {self.k} fragments, got {len(fragments)}"
+            )
+        idx = sorted(fragments)[: self.k]
+        if any(not 0 <= i < self.n for i in idx):
+            raise ValueError(f"fragment indices out of range: {idx}")
+        rows = np.stack(
+            [np.frombuffer(memoryview(fragments[i]), dtype=np.uint8) for i in idx]
+        )
+        if idx == list(range(self.k)):
+            shards = rows
+        else:
+            shards = matrix.solve(self._gen[idx], rows)
+        return unpad(shards, payload_len=payload_len)
+
+    def reconstruct_fragment(
+        self, fragments: dict[int, np.ndarray], target: int
+    ) -> np.ndarray:
+        """Rebuild one lost fragment from any k others."""
+        if not 0 <= target < self.n:
+            raise ValueError(f"fragment index out of range: {target}")
+        idx = sorted(fragments)[: self.k]
+        rows = np.stack(
+            [np.frombuffer(memoryview(fragments[i]), dtype=np.uint8) for i in idx]
+        )
+        shards = matrix.solve(self._gen[idx], rows)
+        return matrix.matmul(self._gen[target : target + 1], shards)[0]

@@ -1,0 +1,128 @@
+"""Fragment-level erasure-coding API used by the RAPIDS pipeline.
+
+Wraps :class:`repro.ec.reed_solomon.RSCode` with the vocabulary of the
+paper: a *fault-tolerance configuration* ``m`` on ``n`` storage systems
+means the level is split into ``k = n - m`` data fragments plus ``m``
+parity fragments, one fragment per system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from .reed_solomon import RSCode
+
+__all__ = ["ECConfig", "ErasureCodec", "EncodedLevel"]
+
+
+@lru_cache(maxsize=512)
+def _code(k: int, m: int) -> RSCode:
+    return RSCode(k, m)
+
+
+@dataclass(frozen=True)
+class ECConfig:
+    """Fault-tolerance configuration of one refactored level.
+
+    ``n`` fragments total, of which ``m`` are parity; tolerates any ``m``
+    concurrent storage-system outages (paper §3.2).
+    """
+
+    n: int
+    m: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.m < self.n:
+            raise ValueError(f"require 0 <= m < n, got n={self.n}, m={self.m}")
+
+    @property
+    def k(self) -> int:
+        """Number of data fragments (n - m)."""
+        return self.n - self.m
+
+    @property
+    def storage_expansion(self) -> float:
+        """Bytes stored per payload byte: n / k."""
+        return self.n / self.k
+
+    def fragment_size(self, payload_size: float) -> float:
+        """Size of each fragment for a payload of ``payload_size`` bytes.
+
+        Matches the paper's s_j / (n - m_j) accounting (the +8-byte length
+        header is negligible at scientific-data scales and is ignored by
+        the analytic models, but is physically present in encoded bytes).
+        """
+        return payload_size / self.k
+
+    def parity_overhead(self, payload_size: float) -> float:
+        """Total parity bytes: m / (n - m) * payload (paper Eq. 6 numerator)."""
+        return self.m / self.k * payload_size
+
+
+@dataclass
+class EncodedLevel:
+    """The n erasure-coded fragments of one refactored level."""
+
+    config: ECConfig
+    fragments: list[np.ndarray]
+    payload_size: int
+    level_index: int = 0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def fragment_nbytes(self) -> int:
+        return int(self.fragments[0].nbytes) if self.fragments else 0
+
+
+class ErasureCodec:
+    """Encode/decode refactored levels with per-level FT configurations."""
+
+    def __init__(self, n: int) -> None:
+        if not 2 <= n <= 256:
+            raise ValueError(f"n must be in [2, 256], got {n}")
+        self.n = n
+
+    def encode_level(
+        self, payload: bytes | np.ndarray, m: int, *, level_index: int = 0
+    ) -> EncodedLevel:
+        """Erasure-code one level payload with ``m`` parity fragments."""
+        cfg = ECConfig(self.n, m)
+        code = _code(cfg.k, cfg.m)
+        nbytes = (
+            len(payload) if isinstance(payload, (bytes, bytearray)) else payload.nbytes
+        )
+        return EncodedLevel(
+            config=cfg,
+            fragments=code.encode(payload),
+            payload_size=int(nbytes),
+            level_index=level_index,
+        )
+
+    def decode_level(
+        self, encoded: EncodedLevel | None = None, *,
+        config: ECConfig | None = None,
+        fragments: dict[int, np.ndarray] | None = None,
+    ) -> bytes:
+        """Decode a level from an :class:`EncodedLevel` or a raw fragment map.
+
+        Raises :class:`ValueError` if fewer than ``k`` fragments are
+        supplied — the caller (the restoration component) treats that as
+        "this level is unavailable".
+        """
+        if encoded is not None:
+            config = encoded.config
+            fragments = {i: f for i, f in enumerate(encoded.fragments)}
+        if config is None or fragments is None:
+            raise ValueError("provide either an EncodedLevel or (config, fragments)")
+        code = _code(config.k, config.m)
+        return code.decode(fragments)
+
+    def repair_fragment(
+        self, config: ECConfig, fragments: dict[int, np.ndarray], target: int
+    ) -> np.ndarray:
+        """Rebuild a lost fragment for re-placement on a new storage system."""
+        code = _code(config.k, config.m)
+        return code.reconstruct_fragment(fragments, target)

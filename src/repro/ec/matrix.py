@@ -1,0 +1,119 @@
+"""Dense matrix algebra over GF(2^8).
+
+Provides the matrix kernels the Reed-Solomon layer is built on: matrix
+multiplication, Gauss-Jordan inversion, and Vandermonde construction.
+Matrices are plain ``uint8`` NumPy arrays.  The inner products are
+computed via the log/antilog tables with XOR-reduction implemented as a
+parity fold over an int accumulator-free formulation: we gather the
+product bytes for one output row at a time and XOR-reduce with
+``np.bitwise_xor.reduce``, which keeps everything vectorised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import gf256
+
+__all__ = [
+    "matmul",
+    "identity",
+    "vandermonde",
+    "invert",
+    "solve",
+    "is_identity",
+]
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(256).
+
+    ``a`` is (r, k), ``b`` is (k, c); the result is (r, c).  For the
+    fragment-encoding case ``c`` is the fragment length (large), so the
+    loop is arranged over the small ``k`` dimension with fully vectorised
+    row operations.
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("matmul expects 2-D operands")
+    r, k = a.shape
+    k2, c = b.shape
+    if k != k2:
+        raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
+    out = np.zeros((r, c), dtype=np.uint8)
+    # XOR-accumulate rank-1 style updates: out ^= a[:, j:j+1] * b[j, :].
+    # Each update is a single table gather over the full output.
+    table = gf256.full_mul_table()
+    for j in range(k):
+        coeffs = a[:, j]  # (r,)
+        row = b[j]  # (c,)
+        # table[coeffs][:, row] would allocate (r, 256); gather directly:
+        out ^= table[np.ix_(coeffs, row)]
+    return out
+
+
+def identity(n: int) -> np.ndarray:
+    """The n-by-n identity matrix over GF(256)."""
+    return np.eye(n, dtype=np.uint8)
+
+
+def vandermonde(rows: int, cols: int) -> np.ndarray:
+    """Vandermonde matrix V[i, j] = i**j over GF(256).
+
+    Any ``cols`` rows taken from the first 256 rows are linearly
+    independent provided the evaluation points are distinct, which makes
+    this the classical starting point for an MDS generator matrix.
+    """
+    if rows > 256:
+        raise ValueError("at most 256 distinct evaluation points in GF(256)")
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            out[i, j] = gf256.pow_(np.uint8(i), j)
+    return out
+
+
+def invert(m: np.ndarray) -> np.ndarray:
+    """Invert a square matrix over GF(256) by Gauss-Jordan elimination.
+
+    Raises :class:`numpy.linalg.LinAlgError` if the matrix is singular.
+    """
+    m = np.asarray(m, dtype=np.uint8)
+    n, n2 = m.shape
+    if n != n2:
+        raise ValueError("matrix must be square")
+    aug = np.concatenate([m.copy(), identity(n)], axis=1)
+    for col in range(n):
+        # Find a pivot at or below the diagonal.
+        pivot_rows = np.nonzero(aug[col:, col])[0]
+        if pivot_rows.size == 0:
+            raise np.linalg.LinAlgError("singular matrix over GF(256)")
+        pivot = col + int(pivot_rows[0])
+        if pivot != col:
+            aug[[col, pivot]] = aug[[pivot, col]]
+        # Normalise the pivot row.
+        pv = aug[col, col]
+        if pv != 1:
+            aug[col] = gf256.mul(gf256.inv(pv), aug[col])
+        # Eliminate every other row in one vectorised sweep.
+        factors = aug[:, col].copy()
+        factors[col] = 0
+        nz = np.nonzero(factors)[0]
+        if nz.size:
+            table = gf256.full_mul_table()
+            aug[nz] ^= table[np.ix_(factors[nz], aug[col])]
+    return aug[:, n:].copy()
+
+
+def solve(m: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``m @ x = rhs`` over GF(256) for possibly wide ``rhs``."""
+    return matmul(invert(m), np.asarray(rhs, dtype=np.uint8))
+
+
+def is_identity(m: np.ndarray) -> bool:
+    """True if ``m`` is the identity matrix."""
+    m = np.asarray(m)
+    return m.ndim == 2 and m.shape[0] == m.shape[1] and bool(
+        np.array_equal(m, identity(m.shape[0]))
+    )

@@ -1,0 +1,13 @@
+"""Self-describing fragment container format (HDF5/ADIOS substitute)."""
+
+from .checksum import crc32, verify
+from .container import Container, FormatError, read_fragment_file, write_fragment_file
+
+__all__ = [
+    "Container",
+    "FormatError",
+    "write_fragment_file",
+    "read_fragment_file",
+    "crc32",
+    "verify",
+]

@@ -1,0 +1,17 @@
+"""Checksums for fragment payload integrity."""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["crc32", "verify"]
+
+
+def crc32(data: bytes | memoryview) -> int:
+    """CRC-32 of a payload (the container's block checksum)."""
+    return zlib.crc32(bytes(data)) & 0xFFFFFFFF
+
+
+def verify(data: bytes | memoryview, expected: int) -> bool:
+    """True iff the payload matches its recorded checksum."""
+    return crc32(data) == expected

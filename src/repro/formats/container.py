@@ -1,0 +1,149 @@
+"""Self-describing fragment container format (HDF5/ADIOS substitute).
+
+RAPIDS writes each data/parity fragment to its own file in a
+self-describing format so that the information of the original data
+object (name, level, fragment index, EC parameters) travels with the
+bytes (§4.1 step 5).  The container holds a JSON attribute document and
+any number of named, CRC-checked binary blocks.
+
+File layout (little-endian)::
+
+    magic  "RDC1"                      (4 bytes)
+    u16    version                     (currently 1)
+    u32    attrs_len | attrs JSON (UTF-8)
+    u32    num_blocks
+    per block:
+        u16 name_len | name (UTF-8)
+        u32 crc32 | u64 payload_len | payload
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from pathlib import Path
+
+from .checksum import crc32, verify
+
+__all__ = ["Container", "write_fragment_file", "read_fragment_file", "FormatError"]
+
+_MAGIC = b"RDC1"
+_VERSION = 1
+
+
+class FormatError(ValueError):
+    """Raised on malformed or corrupted container files."""
+
+
+class Container:
+    """An in-memory self-describing container: attributes + named blocks."""
+
+    def __init__(self, attrs: dict | None = None) -> None:
+        self.attrs: dict = dict(attrs or {})
+        self._blocks: dict[str, bytes] = {}
+
+    def add_block(self, name: str, payload: bytes) -> None:
+        if not name:
+            raise ValueError("block name must be non-empty")
+        if name in self._blocks:
+            raise ValueError(f"duplicate block name: {name!r}")
+        self._blocks[name] = bytes(payload)
+
+    def block(self, name: str) -> bytes:
+        return self._blocks[name]
+
+    def block_names(self) -> list[str]:
+        return list(self._blocks)
+
+    # -- wire format -----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        out = io.BytesIO()
+        out.write(_MAGIC)
+        out.write(struct.pack("<H", _VERSION))
+        attrs = json.dumps(self.attrs, sort_keys=True).encode()
+        out.write(struct.pack("<I", len(attrs)))
+        out.write(attrs)
+        out.write(struct.pack("<I", len(self._blocks)))
+        for name, payload in self._blocks.items():
+            nm = name.encode()
+            out.write(struct.pack("<H", len(nm)))
+            out.write(nm)
+            out.write(struct.pack("<IQ", crc32(payload), len(payload)))
+            out.write(payload)
+        return out.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Container":
+        if data[:4] != _MAGIC:
+            raise FormatError("not a RAPIDS container (bad magic)")
+        (version,) = struct.unpack_from("<H", data, 4)
+        if version != _VERSION:
+            raise FormatError(f"unsupported container version {version}")
+        (alen,) = struct.unpack_from("<I", data, 6)
+        off = 10
+        try:
+            attrs = json.loads(data[off : off + alen].decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise FormatError(f"corrupt attribute document: {exc}") from exc
+        off += alen
+        (nblocks,) = struct.unpack_from("<I", data, off)
+        off += 4
+        out = cls(attrs)
+        for _ in range(nblocks):
+            (nlen,) = struct.unpack_from("<H", data, off)
+            off += 2
+            name = data[off : off + nlen].decode()
+            off += nlen
+            crc, plen = struct.unpack_from("<IQ", data, off)
+            off += 12
+            payload = data[off : off + plen]
+            if len(payload) != plen:
+                raise FormatError(f"truncated payload for block {name!r}")
+            if not verify(payload, crc):
+                raise FormatError(f"checksum mismatch in block {name!r}")
+            off += plen
+            out.add_block(name, bytes(payload))
+        return out
+
+    def write(self, path: str | Path) -> None:
+        Path(path).write_bytes(self.to_bytes())
+
+    @classmethod
+    def read(cls, path: str | Path) -> "Container":
+        return cls.from_bytes(Path(path).read_bytes())
+
+
+def write_fragment_file(
+    path: str | Path,
+    payload: bytes,
+    *,
+    object_name: str,
+    level: int,
+    index: int,
+    k: int,
+    m: int,
+    extra: dict | None = None,
+) -> None:
+    """Write one EC fragment to a self-describing file."""
+    c = Container(
+        {
+            "object_name": object_name,
+            "level": level,
+            "index": index,
+            "k": k,
+            "m": m,
+            **(extra or {}),
+        }
+    )
+    c.add_block("fragment", payload)
+    c.write(path)
+
+
+def read_fragment_file(path: str | Path) -> tuple[dict, bytes]:
+    """Read a fragment file; returns (attributes, payload)."""
+    c = Container.read(path)
+    if "fragment" not in c.block_names():
+        raise FormatError("container has no 'fragment' block")
+    return c.attrs, c.block("fragment")

@@ -1,0 +1,15 @@
+"""Metadata management: embedded KV store (RocksDB substitute) + catalog."""
+
+from .catalog import FragmentRecord, MetadataCatalog, ObjectRecord
+from .kvstore import CorruptionError, KVStore
+from .replicated import QuorumError, ReplicatedKVStore
+
+__all__ = [
+    "KVStore",
+    "CorruptionError",
+    "MetadataCatalog",
+    "ObjectRecord",
+    "FragmentRecord",
+    "ReplicatedKVStore",
+    "QuorumError",
+]

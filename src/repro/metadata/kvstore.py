@@ -1,0 +1,267 @@
+"""An embedded log-structured key-value store (RocksDB substitute).
+
+The RAPIDS metadata component needs a durable, low-latency embedded
+key-value database.  This store follows the Bitcask design that also
+underlies RocksDB's WAL path:
+
+* Writes append CRC-checked records to the active segment file; the
+  in-memory index maps each key to its latest record's (segment, offset).
+* Reads are one seek into the owning segment.
+* Deletes append a tombstone.
+* When the active segment exceeds ``segment_bytes``, it is sealed and a
+  new one starts; :meth:`compact` rewrites only the live records into a
+  fresh segment chain and drops the old files.
+* On open, segments are replayed oldest-to-newest to rebuild the index.
+  A torn final record (crash mid-append) is detected via its CRC/length
+  and the file is truncated back to the last valid record.
+
+Record wire format (little-endian)::
+
+    u32 crc  | u32 key_len | u32 val_len | u8 tombstone | key | value
+
+The CRC covers everything after the crc field.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+
+__all__ = ["KVStore", "CorruptionError"]
+
+_HEADER = struct.Struct("<III B")
+_SEGMENT_PREFIX = "seg-"
+
+
+class CorruptionError(RuntimeError):
+    """Raised when a segment contains an unrecoverable corruption."""
+
+
+class KVStore:
+    """Durable embedded key-value store over a directory of segment files.
+
+    Keys and values are ``bytes``.  Not safe for concurrent writers; a
+    single RAPIDS metadata service owns the directory, as in the paper
+    (metadata is "only maintained on one system").
+    """
+
+    def __init__(self, path: str | os.PathLike, *, segment_bytes: int = 4 * 2**20):
+        if segment_bytes < 1024:
+            raise ValueError("segment_bytes too small")
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.segment_bytes = segment_bytes
+        # key -> (segment id, offset, total record length) for live keys
+        self._index: dict[bytes, tuple[int, int, int]] = {}
+        self._handles: dict[int, object] = {}
+        self._active_id = 0
+        self._active = None
+        self._recover()
+
+    # -- segment plumbing ------------------------------------------------
+
+    def _segment_path(self, seg_id: int) -> Path:
+        return self.path / f"{_SEGMENT_PREFIX}{seg_id:08d}.log"
+
+    def _segment_ids(self) -> list[int]:
+        out = []
+        for p in self.path.iterdir():
+            name = p.name
+            if name.startswith(_SEGMENT_PREFIX) and name.endswith(".log"):
+                out.append(int(name[len(_SEGMENT_PREFIX) : -4]))
+        return sorted(out)
+
+    def _open_active(self, seg_id: int) -> None:
+        self._active_id = seg_id
+        self._active = open(self._segment_path(seg_id), "ab")
+        self._handles[seg_id] = open(self._segment_path(seg_id), "rb")
+
+    def _recover(self) -> None:
+        ids = self._segment_ids()
+        for seg_id in ids:
+            self._replay_segment(seg_id)
+        next_id = (ids[-1] + 1) if ids else 0
+        # Reuse the last segment if it has room, else start fresh.
+        if ids and self._segment_path(ids[-1]).stat().st_size < self.segment_bytes:
+            if ids[-1] in self._handles:
+                self._handles[ids[-1]].close()
+                del self._handles[ids[-1]]
+            self._open_active(ids[-1])
+        else:
+            self._open_active(next_id)
+
+    def _replay_segment(self, seg_id: int) -> None:
+        path = self._segment_path(seg_id)
+        valid_end = 0
+        with open(path, "rb") as fh:
+            data = fh.read()
+        off = 0
+        while off < len(data):
+            rec = self._parse_record(data, off)
+            if rec is None:
+                break  # torn tail
+            key, value, tombstone, rec_len = rec
+            if tombstone:
+                self._index.pop(key, None)
+            else:
+                self._index[key] = (seg_id, off, rec_len)
+            off += rec_len
+            valid_end = off
+        if valid_end < len(data):
+            # Torn final record from a crash: truncate it away.
+            with open(path, "ab") as fh:
+                fh.truncate(valid_end)
+        self._handles[seg_id] = open(path, "rb")
+
+    @staticmethod
+    def _parse_record(buf: bytes, off: int):
+        if off + _HEADER.size > len(buf):
+            return None
+        crc, klen, vlen, tomb = _HEADER.unpack_from(buf, off)
+        end = off + _HEADER.size + klen + vlen
+        if end > len(buf):
+            return None
+        body = buf[off + 4 : end]
+        if zlib.crc32(body) != crc:
+            return None
+        key = buf[off + _HEADER.size : off + _HEADER.size + klen]
+        value = buf[off + _HEADER.size + klen : end]
+        return key, value, bool(tomb), end - off
+
+    def _append(self, key: bytes, value: bytes, tombstone: bool) -> tuple[int, int, int]:
+        body = _HEADER.pack(0, len(key), len(value), int(tombstone))[4:] + key + value
+        rec = struct.pack("<I", zlib.crc32(body)) + body
+        if self._active.tell() + len(rec) > self.segment_bytes and self._active.tell() > 0:
+            self._roll_segment()
+        off = self._active.tell()
+        self._active.write(rec)
+        self._active.flush()
+        return self._active_id, off, len(rec)
+
+    def _roll_segment(self) -> None:
+        self._active.close()
+        self._open_active(self._active_id + 1)
+
+    # -- public API --------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Durably store ``value`` under ``key`` (overwrites)."""
+        self._check_key(key)
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeError("value must be bytes")
+        self._index[key] = self._append(bytes(key), bytes(value), False)
+
+    def get(self, key: bytes, default: bytes | None = None) -> bytes | None:
+        """Fetch the latest value for ``key`` or ``default`` if absent."""
+        self._check_key(key)
+        loc = self._index.get(bytes(key))
+        if loc is None:
+            return default
+        seg_id, off, rec_len = loc
+        fh = self._handles[seg_id]
+        fh.seek(off)
+        buf = fh.read(rec_len)
+        rec = self._parse_record(buf, 0)
+        if rec is None:
+            raise CorruptionError(f"record for {key!r} failed CRC check")
+        return rec[1]
+
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; returns whether it existed."""
+        self._check_key(key)
+        key = bytes(key)
+        if key not in self._index:
+            return False
+        self._append(key, b"", True)
+        del self._index[key]
+        return True
+
+    def scan(self, prefix: bytes = b"") -> list[tuple[bytes, bytes]]:
+        """All live (key, value) pairs with the given prefix, key-sorted."""
+        keys = sorted(k for k in self._index if k.startswith(prefix))
+        return [(k, self.get(k)) for k in keys]
+
+    def keys(self, prefix: bytes = b"") -> list[bytes]:
+        return sorted(k for k in self._index if k.startswith(prefix))
+
+    def __contains__(self, key: bytes) -> bool:
+        return bytes(key) in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def compact(self) -> int:
+        """Rewrite live records into fresh segments; returns bytes reclaimed."""
+        before = sum(
+            self._segment_path(i).stat().st_size for i in self._segment_ids()
+        )
+        live = [(k, self.get(k)) for k in sorted(self._index)]
+        old_ids = self._segment_ids()
+        new_start = (old_ids[-1] + 1) if old_ids else 0
+        # Write the live set into a new segment chain first, then drop old.
+        self._active.close()
+        for fh in self._handles.values():
+            fh.close()
+        self._handles.clear()
+        self._index.clear()
+        self._open_active(new_start)
+        for k, v in live:
+            self._index[k] = self._append(k, v, False)
+        for seg_id in old_ids:
+            if seg_id != self._active_id:
+                self._segment_path(seg_id).unlink()
+        after = sum(
+            self._segment_path(i).stat().st_size for i in self._segment_ids()
+        )
+        return before - after
+
+    def snapshot(self, dest: str | os.PathLike) -> int:
+        """Write a consistent point-in-time snapshot to ``dest``.
+
+        The snapshot is a fresh single-segment store holding exactly the
+        live records; it opens as a normal :class:`KVStore` (the
+        metadata-backup path a production deployment would cron).
+        Returns the number of records written.
+        """
+        dest = Path(dest)
+        if dest.exists() and any(dest.iterdir()):
+            raise FileExistsError(f"snapshot destination not empty: {dest}")
+        live = [(k, self.get(k)) for k in sorted(self._index)]
+        total = sum(len(k) + len(v) for k, v in live) + 64 * len(live) + 1024
+        with KVStore(dest, segment_bytes=max(total, 4096)) as snap:
+            for k, v in live:
+                snap.put(k, v)
+        return len(live)
+
+    def restore_from_snapshot(self, src: str | os.PathLike) -> int:
+        """Load every record from a snapshot into this store (overwrites
+        matching keys; does not delete others).  Returns records loaded."""
+        count = 0
+        with KVStore(src) as snap:
+            for k, v in snap.scan():
+                self.put(k, v)
+                count += 1
+        return count
+
+    def close(self) -> None:
+        if self._active is not None:
+            self._active.close()
+            self._active = None
+        for fh in self._handles.values():
+            fh.close()
+        self._handles.clear()
+
+    def __enter__(self) -> "KVStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @staticmethod
+    def _check_key(key) -> None:
+        if not isinstance(key, (bytes, bytearray)):
+            raise TypeError("key must be bytes")
+        if len(key) == 0:
+            raise ValueError("empty keys are not allowed")

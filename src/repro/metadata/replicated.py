@@ -1,0 +1,232 @@
+"""Replicated metadata store — the paper's stated future work (§4.3).
+
+The paper's metadata lives on one system and is "prone to failures"; the
+authors name metadata duplication and distributed management as future
+development.  This module provides it: a quorum-replicated KV store over
+N independent :class:`~repro.metadata.kvstore.KVStore` replicas.
+
+Semantics (Dynamo-style, single writer):
+
+* every write carries a per-key monotonically increasing version;
+* a write succeeds when at least ``write_quorum`` replicas accept it;
+* a read consults ``read_quorum`` replicas, returns the highest-version
+  value, and *read-repairs* any stale replica it touched;
+* deletes are versioned tombstones, so a stale replica cannot resurrect
+  a deleted key;
+* a replica that was down (or lost entirely) is resynchronised with
+  :meth:`ReplicatedKVStore.recover_replica`.
+
+With ``write_quorum + read_quorum > n`` reads always observe the latest
+completed write (quorum intersection) — the property the tests verify
+under failure injection.
+
+``MetadataCatalog`` works unchanged on top: it only needs the KV
+interface (put/get/delete/scan/keys), which this class implements.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+from .kvstore import KVStore
+
+__all__ = ["ReplicatedKVStore", "QuorumError"]
+
+_HEADER = struct.Struct("<QB")  # version, tombstone
+
+
+class QuorumError(RuntimeError):
+    """Raised when too few replicas are reachable for a quorum."""
+
+
+class ReplicatedKVStore:
+    """Quorum-replicated key-value store over N local KVStore replicas.
+
+    Parameters
+    ----------
+    paths:
+        One directory per replica (created on demand).
+    write_quorum / read_quorum:
+        Minimum replica acknowledgements per operation.  Defaults to
+        majority quorums; ``write_quorum + read_quorum`` must exceed the
+        replica count so read and write quorums always intersect.
+    """
+
+    def __init__(
+        self,
+        paths: list[str | Path],
+        *,
+        write_quorum: int | None = None,
+        read_quorum: int | None = None,
+    ) -> None:
+        if len(paths) < 2:
+            raise ValueError("replication needs at least 2 replicas")
+        n = len(paths)
+        self.write_quorum = write_quorum if write_quorum is not None else n // 2 + 1
+        self.read_quorum = read_quorum if read_quorum is not None else n // 2 + 1
+        if not 1 <= self.write_quorum <= n or not 1 <= self.read_quorum <= n:
+            raise ValueError("quorums must be in [1, n]")
+        if self.write_quorum + self.read_quorum <= n:
+            raise ValueError(
+                "write_quorum + read_quorum must exceed the replica count "
+                "for reads to observe the latest write"
+            )
+        self.replicas = [KVStore(p) for p in paths]
+        self._up = [True] * n
+
+    # -- failure injection (for tests and simulations) -------------------
+
+    def fail_replica(self, idx: int) -> None:
+        self._up[idx] = False
+
+    def restore_replica(self, idx: int) -> None:
+        self._up[idx] = True
+
+    def up_count(self) -> int:
+        return sum(self._up)
+
+    # -- versioned records ----------------------------------------------
+
+    @staticmethod
+    def _encode(version: int, tombstone: bool, payload: bytes) -> bytes:
+        return _HEADER.pack(version, int(tombstone)) + payload
+
+    @staticmethod
+    def _decode(raw: bytes) -> tuple[int, bool, bytes]:
+        version, tomb = _HEADER.unpack_from(raw, 0)
+        return version, bool(tomb), raw[_HEADER.size :]
+
+    def _latest_version(self, key: bytes) -> int:
+        best = 0
+        for up, rep in zip(self._up, self.replicas):
+            if not up:
+                continue
+            raw = rep.get(key)
+            if raw is not None:
+                best = max(best, self._decode(raw)[0])
+        return best
+
+    def _write(self, key: bytes, record: bytes) -> int:
+        acks = 0
+        for i, rep in enumerate(self.replicas):
+            if not self._up[i]:
+                continue
+            rep.put(key, record)
+            acks += 1
+        return acks
+
+    # -- public KV interface ------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeError("value must be bytes")
+        version = self._latest_version(key) + 1
+        record = self._encode(version, False, bytes(value))
+        if self._write(key, record) < self.write_quorum:
+            raise QuorumError(
+                f"only {self.up_count()} replicas up, "
+                f"need {self.write_quorum} for a write"
+            )
+
+    def get(self, key: bytes, default: bytes | None = None) -> bytes | None:
+        consulted: list[tuple[int, KVStore, bytes | None]] = []
+        for i, rep in enumerate(self.replicas):
+            if not self._up[i]:
+                continue
+            consulted.append((i, rep, rep.get(key)))
+            if len(consulted) >= self.read_quorum:
+                break
+        if len(consulted) < self.read_quorum:
+            raise QuorumError(
+                f"only {self.up_count()} replicas up, "
+                f"need {self.read_quorum} for a read"
+            )
+        best_version, best_tomb, best_val = 0, True, None
+        have_any = False
+        for _, _, raw in consulted:
+            if raw is None:
+                continue
+            version, tomb, payload = self._decode(raw)
+            have_any = True
+            if version > best_version:
+                best_version, best_tomb, best_val = version, tomb, payload
+        if have_any:
+            # Read repair: bring stale consulted replicas up to date.
+            record = self._encode(best_version, best_tomb, best_val or b"")
+            for _, rep, raw in consulted:
+                if raw is None or self._decode(raw)[0] < best_version:
+                    rep.put(key, record)
+        if not have_any or best_tomb:
+            return default
+        return best_val
+
+    def delete(self, key: bytes) -> bool:
+        existed = self.get(key) is not None
+        version = self._latest_version(key) + 1
+        record = self._encode(version, True, b"")
+        if self._write(key, record) < self.write_quorum:
+            raise QuorumError(
+                f"only {self.up_count()} replicas up, "
+                f"need {self.write_quorum} for a delete"
+            )
+        return existed
+
+    def keys(self, prefix: bytes = b"") -> list[bytes]:
+        """Live keys with the given prefix (union over up replicas,
+        filtered through versioned reads so tombstones win)."""
+        candidates: set[bytes] = set()
+        for up, rep in zip(self._up, self.replicas):
+            if up:
+                candidates.update(rep.keys(prefix))
+        return sorted(k for k in candidates if self.get(k) is not None)
+
+    def scan(self, prefix: bytes = b"") -> list[tuple[bytes, bytes]]:
+        return [(k, self.get(k)) for k in self.keys(prefix)]
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(bytes(key)) is not None
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    # -- maintenance -----------------------------------------------------
+
+    def recover_replica(self, idx: int) -> int:
+        """Resynchronise a (restored or replaced) replica from its peers.
+
+        Returns the number of records copied.  The replica is marked up
+        afterwards.
+        """
+        target = self.replicas[idx]
+        self._up[idx] = True
+        copied = 0
+        candidates: set[bytes] = set()
+        for i, rep in enumerate(self.replicas):
+            if i != idx and self._up[i]:
+                candidates.update(rep.keys())
+        for key in candidates:
+            best_raw, best_version = None, -1
+            for i, rep in enumerate(self.replicas):
+                if i == idx or not self._up[i]:
+                    continue
+                raw = rep.get(key)
+                if raw is not None and self._decode(raw)[0] > best_version:
+                    best_raw, best_version = raw, self._decode(raw)[0]
+            if best_raw is None:
+                continue
+            local = target.get(key)
+            if local is None or self._decode(local)[0] < best_version:
+                target.put(key, best_raw)
+                copied += 1
+        return copied
+
+    def close(self) -> None:
+        for rep in self.replicas:
+            rep.close()
+
+    def __enter__(self) -> "ReplicatedKVStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

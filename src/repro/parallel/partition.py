@@ -1,0 +1,48 @@
+"""Domain decomposition into per-core blocks.
+
+The paper's weak-scaling setup fixes the data object produced per CPU
+core (e.g. 512 MB/core for NYX) and refactors each core's block
+independently — data refactoring is "embarrassingly parallel" (§5.5.1).
+This module splits an nD array into equal blocks along the leading axis
+and reassembles them, preserving byte-for-byte layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["split_blocks", "join_blocks", "block_shape_for"]
+
+
+def split_blocks(data: np.ndarray, num_blocks: int) -> list[np.ndarray]:
+    """Split along axis 0 into ``num_blocks`` near-equal contiguous blocks.
+
+    Every block gets at least 2 planes so it remains refactorable;
+    ``num_blocks`` is clamped accordingly.
+    """
+    if data.ndim < 1:
+        raise ValueError("cannot split a scalar")
+    if num_blocks < 1:
+        raise ValueError("num_blocks must be >= 1")
+    max_blocks = max(1, data.shape[0] // 2)
+    num_blocks = min(num_blocks, max_blocks)
+    bounds = np.linspace(0, data.shape[0], num_blocks + 1).astype(int)
+    return [
+        np.ascontiguousarray(data[bounds[i] : bounds[i + 1]])
+        for i in range(num_blocks)
+    ]
+
+
+def join_blocks(blocks: list[np.ndarray]) -> np.ndarray:
+    """Inverse of :func:`split_blocks`."""
+    if not blocks:
+        raise ValueError("no blocks to join")
+    return np.concatenate(blocks, axis=0)
+
+
+def block_shape_for(shape: tuple[int, ...], num_blocks: int) -> tuple[int, ...]:
+    """Shape of the largest block produced by :func:`split_blocks`."""
+    max_blocks = max(1, shape[0] // 2)
+    num_blocks = min(num_blocks, max_blocks)
+    first = -(-shape[0] // num_blocks)
+    return (first,) + tuple(shape[1:])

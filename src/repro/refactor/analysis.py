@@ -1,0 +1,136 @@
+"""Scientific quality metrics for reconstructed data.
+
+The paper's optimisation runs on the relative L-infinity error (Eq. 3),
+but whether lossy data is *scientifically* usable depends on more than
+the worst point: RMS behaviour, preservation of derived quantities
+(means, extrema, gradients) and of spectral content all matter
+(§2.2's citations study exactly these).  This module provides the
+standard battery so users can audit a reconstruction against the
+quantities their analysis consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .error_model import relative_linf_error
+
+__all__ = ["QualityReport", "assess", "psnr", "rmse", "spectrum_error"]
+
+
+def rmse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Root-mean-square error."""
+    original = np.asarray(original, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    if original.shape != reconstructed.shape:
+        raise ValueError("shape mismatch")
+    return float(np.sqrt(np.mean((original - reconstructed) ** 2)))
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (inf for exact match)."""
+    err = rmse(original, reconstructed)
+    original = np.asarray(original, dtype=np.float64)
+    peak = float(original.max() - original.min())
+    if err == 0.0:
+        return float("inf")
+    if peak == 0.0:
+        return float("-inf") if err > 0 else float("inf")
+    return float(20.0 * np.log10(peak / err))
+
+
+def spectrum_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Relative L2 error of the isotropic power spectrum.
+
+    Measures whether the reconstruction preserves the distribution of
+    energy across scales — the quantity turbulence and cosmology
+    analyses consume.  0 = spectra identical.  The k = 0 (DC) bin is
+    excluded: constant offsets are reported by the drift metrics, and
+    the DC power would otherwise dominate the norm for fields with a
+    large mean.
+    """
+    original = np.asarray(original, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    if original.shape != reconstructed.shape:
+        raise ValueError("shape mismatch")
+
+    def iso_spectrum(f):
+        spec = np.abs(np.fft.rfftn(f)) ** 2
+        grids = np.meshgrid(
+            *[np.fft.fftfreq(n) for n in f.shape[:-1]],
+            np.fft.rfftfreq(f.shape[-1]),
+            indexing="ij",
+        )
+        k = np.sqrt(sum(g**2 for g in grids))
+        nbins = max(4, min(f.shape) // 2)
+        bins = np.linspace(0, float(k.max()) + 1e-12, nbins + 1)
+        idx = np.digitize(k.reshape(-1), bins) - 1
+        weights = spec.reshape(-1).copy()
+        weights[k.reshape(-1) == 0.0] = 0.0  # drop the DC mode
+        power = np.bincount(idx, weights=weights, minlength=nbins)
+        return power[:nbins]
+
+    p0 = iso_spectrum(original)
+    p1 = iso_spectrum(reconstructed)
+    denom = float(np.linalg.norm(p0))
+    if denom == 0.0:
+        return 0.0 if float(np.linalg.norm(p1)) == 0.0 else float("inf")
+    return float(np.linalg.norm(p0 - p1) / denom)
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """The full quality battery for one reconstruction."""
+
+    rel_linf: float
+    rmse: float
+    psnr_db: float
+    mean_drift: float
+    std_drift: float
+    max_drift: float
+    min_drift: float
+    spectrum_rel_l2: float
+
+    def acceptable_for(
+        self,
+        *,
+        max_rel_linf: float = np.inf,
+        min_psnr_db: float = -np.inf,
+        max_mean_drift: float = np.inf,
+        max_spectrum_error: float = np.inf,
+    ) -> bool:
+        """Check the report against analysis-specific thresholds."""
+        return (
+            self.rel_linf <= max_rel_linf
+            and self.psnr_db >= min_psnr_db
+            and abs(self.mean_drift) <= max_mean_drift
+            and self.spectrum_rel_l2 <= max_spectrum_error
+        )
+
+
+def assess(original: np.ndarray, reconstructed: np.ndarray) -> QualityReport:
+    """Compute the full quality battery.
+
+    Drift metrics are relative changes of the derived quantity, scaled
+    by the original data's dynamic range (so they stay meaningful for
+    fields with large offsets, like absolute pressure).
+    """
+    original = np.asarray(original, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    if original.shape != reconstructed.shape:
+        raise ValueError("shape mismatch")
+    scale = float(original.max() - original.min())
+    if scale == 0.0:
+        scale = max(abs(float(original.flat[0])), 1.0)
+    return QualityReport(
+        rel_linf=relative_linf_error(original, reconstructed),
+        rmse=rmse(original, reconstructed),
+        psnr_db=psnr(original, reconstructed),
+        mean_drift=float(reconstructed.mean() - original.mean()) / scale,
+        std_drift=float(reconstructed.std() - original.std()) / scale,
+        max_drift=float(reconstructed.max() - original.max()) / scale,
+        min_drift=float(reconstructed.min() - original.min()) / scale,
+        spectrum_rel_l2=spectrum_error(original, reconstructed),
+    )

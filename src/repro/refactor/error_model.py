@@ -1,0 +1,80 @@
+"""Error metrics and the MGARD-style theoretical error bound.
+
+The paper quantifies reconstruction quality with the relative L-infinity
+error (Eq. 3) and bounds the reconstruction error of the multilevel
+representation by
+
+    e <= (1 + sqrt(3)/2) * sum_l max_x |u_mc[x] - u~_mc[x]|
+
+where the sum runs over decomposition levels and the max over each
+level's multilevel coefficients.  For bitplane-encoded coefficients the
+per-coefficient error after keeping the first ``b`` planes is at most the
+weight of the first missing plane, which gives the closed-form bound in
+:func:`theoretical_bound`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitplane import PlaneSet
+
+__all__ = ["relative_linf_error", "MGARD_CONSTANT", "theoretical_bound"]
+
+#: The (1 + sqrt(3)/2) stability constant from the MGARD error analysis.
+MGARD_CONSTANT = 1.0 + np.sqrt(3.0) / 2.0
+
+
+def relative_linf_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Relative L-infinity error of Eq. 3: max|d - d~| / max|d|.
+
+    A reconstruction of all-zeros therefore scores exactly 1.0, the
+    paper's penalty value e0 for "no level could be restored".
+    """
+    original = np.asarray(original, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    if original.shape != reconstructed.shape:
+        raise ValueError(
+            f"shape mismatch: {original.shape} vs {reconstructed.shape}"
+        )
+    denom = float(np.max(np.abs(original)))
+    if denom == 0.0:
+        return 0.0 if float(np.max(np.abs(reconstructed))) == 0.0 else np.inf
+    return float(np.max(np.abs(original - reconstructed))) / denom
+
+
+def theoretical_bound(
+    planesets: list[PlaneSet], kept: list[int], data_max: float
+) -> float:
+    """Upper bound on the relative L-infinity reconstruction error.
+
+    Parameters
+    ----------
+    planesets:
+        The full per-group encodings (one per decomposition level).
+    kept:
+        Number of magnitude planes retained for each group.
+    data_max:
+        max|d| of the original data, to normalise the absolute bound.
+    """
+    if len(kept) != len(planesets):
+        raise ValueError("kept must align with planesets")
+    if data_max <= 0:
+        raise ValueError("data_max must be positive")
+    total = 0.0
+    for ps, b in zip(planesets, kept):
+        if ps.count == 0:
+            continue
+        if not 0 <= b <= ps.num_planes:
+            raise ValueError(f"kept planes {b} out of range for group")
+        if b >= ps.num_planes:
+            # Only the quantisation floor remains.
+            err = 2.0 ** (ps.exponent - ps.num_planes + 1)
+        elif b == 0:
+            # Nothing kept: the coefficient itself, bounded by 2**(exp+1).
+            err = 2.0 ** (ps.exponent + 1)
+        else:
+            # First missing plane dominates; the remaining tail doubles it.
+            err = 2.0 ** (ps.exponent - b + 1)
+        total += err
+    return MGARD_CONSTANT * total / data_max

@@ -1,0 +1,263 @@
+"""Public refactoring API: the pMGARD substitute.
+
+:class:`Refactorer` turns an nD floating-point array into a
+:class:`RefactoredObject` — a hierarchical representation of ``l``
+progressive components with sizes s1 << s2 << ... << sl and measured
+reconstruction errors e1 >> e2 >> ... >> el — and reconstructs an
+approximation of the original array from any prefix of those components.
+These (s_j, e_j) pairs are exactly what the RAPIDS optimisation models in
+:mod:`repro.core` consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from . import bitplane, components, transform
+from .error_model import relative_linf_error, theoretical_bound
+from .grid import LevelPlan, plan_levels
+
+__all__ = ["Refactorer", "RefactoredObject"]
+
+
+@dataclass
+class RefactoredObject:
+    """A refactored dataset: progressive component payloads + metadata.
+
+    Attributes
+    ----------
+    shape / dtype:
+        Original array geometry (reconstruction restores both).
+    plans:
+        Multilevel decomposition plan (fine-to-coarse).
+    payloads:
+        Serialised component byte strings, most important first.  The
+        paper's level sizes are ``sizes[j] = len(payloads[j])``.
+    errors:
+        ``errors[j]`` is the measured relative L-infinity error when the
+        first ``j+1`` components are used for reconstruction (the paper's
+        e_{j+1}).
+    bounds:
+        The corresponding theoretical error bounds (same indexing).
+    data_max:
+        max|d| of the original data (needed by the error metrics).
+    correction:
+        Whether the L2 correction was applied in the transform.
+    """
+
+    shape: tuple[int, ...]
+    dtype: str
+    plans: list[LevelPlan]
+    payloads: list[bytes]
+    errors: list[float]
+    bounds: list[float]
+    data_max: float
+    correction: bool = True
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def num_components(self) -> int:
+        return len(self.payloads)
+
+    @property
+    def sizes(self) -> list[int]:
+        """Component sizes in bytes (the paper's s_j)."""
+        return [len(p) for p in self.payloads]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.sizes)
+
+    @property
+    def original_nbytes(self) -> int:
+        return int(np.prod(self.shape)) * np.dtype(self.dtype).itemsize
+
+    @property
+    def compression_ratio(self) -> float:
+        """Original bytes per refactored byte (all components)."""
+        return self.original_nbytes / max(1, self.total_bytes)
+
+
+class Refactorer:
+    """Error-controlled progressive refactoring of scientific arrays.
+
+    Parameters
+    ----------
+    num_components:
+        Number of progressive levels to emit (the paper uses 4).
+    max_levels:
+        Cap on multilevel decomposition depth (actual depth also limited
+        by the array shape).
+    num_planes:
+        Magnitude bitplanes kept per coefficient group; sets the error
+        floor of the full reconstruction.
+    correction:
+        Apply MGARD's L2 projection correction (ablation switch).
+    policy / size_ratio:
+        Bitplane grouping policy, see :func:`repro.refactor.components.group_planes`.
+    """
+
+    def __init__(
+        self,
+        num_components: int = 4,
+        *,
+        max_levels: int = 6,
+        num_planes: int = 32,
+        correction: bool = True,
+        policy: str = "importance",
+        size_ratio: float = 4.0,
+    ) -> None:
+        if num_components < 1:
+            raise ValueError("num_components must be >= 1")
+        self.num_components = num_components
+        self.max_levels = max_levels
+        self.num_planes = num_planes
+        self.correction = correction
+        self.policy = policy
+        self.size_ratio = size_ratio
+
+    # -- forward path ---------------------------------------------------
+
+    def refactor(
+        self, data: np.ndarray, *, measure_errors: bool = True
+    ) -> RefactoredObject:
+        """Decompose, bitplane-encode, and regroup ``data``.
+
+        ``measure_errors=False`` skips the per-prefix empirical error
+        measurement (one reconstruction per component) and reports only
+        the closed-form bounds; use it on large arrays in benchmarks.
+        """
+        data = np.asarray(data)
+        if not np.issubdtype(data.dtype, np.floating):
+            raise TypeError(f"expected floating-point data, got {data.dtype}")
+        if data.ndim < 1:
+            raise ValueError("scalar input cannot be refactored")
+        if not np.all(np.isfinite(data)):
+            raise ValueError(
+                "data contains NaN or Inf; refactoring requires finite "
+                "values (mask or fill missing data first)"
+            )
+        data_max = float(np.max(np.abs(data)))
+        mallat, plans = transform.decompose(
+            data, max_levels=self.max_levels, correction=self.correction
+        )
+        groups = transform.level_flat_indices(plans, data.shape)
+        flat = mallat.reshape(-1)
+        # Anchor quantisation globally: the floor sits num_planes below
+        # the largest coefficient anywhere, so low-magnitude detail
+        # groups encode proportionally fewer planes (MGARD's uniform
+        # quantisation — this is the main source of size reduction).
+        coeff_max = float(np.max(np.abs(flat)))
+        if coeff_max > 0 and np.isfinite(coeff_max):
+            global_exp = int(np.floor(np.log2(coeff_max)))
+            lsb_exp = global_exp - self.num_planes + 1
+        else:
+            lsb_exp = None
+        planesets = [
+            bitplane.encode_planes(
+                flat[idx], self.num_planes, lsb_exponent=lsb_exp
+            )
+            for idx in groups
+        ]
+        comps = components.group_planes(
+            planesets,
+            self.num_components,
+            policy=self.policy,
+            size_ratio=self.size_ratio,
+        )
+        payloads = [components.component_to_bytes(c, planesets) for c in comps]
+
+        # Per-prefix error bounds from the planes each prefix contains.
+        bounds = []
+        kept_after: list[list[int]] = []
+        kept = [0] * len(planesets)
+        seen_planes: list[set[int]] = [set() for _ in planesets]
+        for c in comps:
+            for ref, _ in c.entries:
+                seen_planes[ref.group].add(ref.plane)
+            prefix = [
+                self._prefix_len(s, planesets[g].num_planes)
+                for g, s in enumerate(seen_planes)
+            ]
+            kept = prefix
+            kept_after.append(list(kept))
+            bounds.append(
+                theoretical_bound(planesets, kept, data_max)
+                if data_max > 0
+                else 0.0
+            )
+
+        obj = RefactoredObject(
+            shape=tuple(data.shape),
+            dtype=str(data.dtype),
+            plans=plans,
+            payloads=payloads,
+            errors=[],
+            bounds=bounds,
+            data_max=data_max,
+            correction=self.correction,
+            meta={"policy": self.policy, "num_planes": self.num_planes},
+        )
+        if measure_errors:
+            obj.errors = [
+                relative_linf_error(data, self.reconstruct(obj, upto=j + 1))
+                for j in range(len(payloads))
+            ]
+        else:
+            obj.errors = list(bounds)
+        return obj
+
+    @staticmethod
+    def _prefix_len(planes_seen: set[int], num_planes: int) -> int:
+        """Length of the contiguous MSB prefix within the planes seen."""
+        n = 0
+        while n < num_planes and n in planes_seen:
+            n += 1
+        return n
+
+    # -- inverse path ---------------------------------------------------
+
+    def reconstruct(
+        self,
+        obj: RefactoredObject,
+        *,
+        upto: int | None = None,
+        payloads: list[bytes] | None = None,
+    ) -> np.ndarray:
+        """Reconstruct an approximation from the first ``upto`` components.
+
+        ``payloads`` overrides the object's own payload list (the
+        restoration component passes the subset it managed to gather,
+        which must still be a prefix of the progressive order).
+        """
+        if payloads is None:
+            payloads = obj.payloads
+        if upto is None:
+            upto = len(payloads)
+        if not 1 <= upto <= len(payloads):
+            raise ValueError(
+                f"upto must be in [1, {len(payloads)}], got {upto}"
+            )
+        parsed = [components.component_from_bytes(p)[1] for p in payloads[:upto]]
+        planesets = components.assemble_planesets(parsed)
+        groups = transform.level_flat_indices(obj.plans, obj.shape)
+        if len(planesets) < len(groups):
+            planesets += [
+                bitplane.PlaneSet(0, 0, 0, [])
+                for _ in range(len(groups) - len(planesets))
+            ]
+        flat = np.zeros(int(np.prod(obj.shape)), dtype=np.float64)
+        for idx, ps in zip(groups, planesets):
+            if ps.count == 0:
+                continue
+            if ps.count != idx.size:
+                raise ValueError(
+                    f"coefficient count mismatch: payload has {ps.count}, "
+                    f"layout expects {idx.size}"
+                )
+            flat[idx] = bitplane.decode_planes(ps, keep=len(ps.planes))
+        mallat = flat.reshape(obj.shape)
+        out = transform.recompose(mallat, obj.plans, correction=obj.correction)
+        return out.astype(obj.dtype, copy=False)

@@ -1,0 +1,126 @@
+"""Error-controlled retrieval: how much of the hierarchy does a target
+accuracy actually need?
+
+pMGARD's headline capability (§2.2, [34]) is *error-controlled,
+progressive and adaptable* retrieval: an analysis task states the error
+it can tolerate and fetches only the prefix of the refactored
+representation that achieves it.  RAPIDS inherits this — during
+restoration there is no reason to gather level 4's huge fragments when
+level 2's accuracy suffices.
+
+This module answers the planning questions:
+
+* :func:`components_for_error` — the shortest component prefix whose
+  recorded (or bound) error meets a target;
+* :func:`bytes_for_error` — the corresponding retrieval cost;
+* :class:`RetrievalPlan` — the full error-vs-bytes frontier of an object,
+  with lookups in both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .refactorer import RefactoredObject
+
+__all__ = ["components_for_error", "bytes_for_error", "RetrievalPlan"]
+
+
+def _error_profile(obj: RefactoredObject, *, use_bounds: bool) -> list[float]:
+    profile = obj.bounds if use_bounds else obj.errors
+    if not profile:
+        profile = obj.bounds or obj.errors
+    if not profile:
+        raise ValueError("object has neither measured errors nor bounds")
+    if len(profile) != obj.num_components:
+        raise ValueError(
+            f"error profile length {len(profile)} does not match "
+            f"{obj.num_components} components"
+        )
+    return list(profile)
+
+
+def components_for_error(
+    obj: RefactoredObject, target_error: float, *, use_bounds: bool = False
+) -> int:
+    """Smallest number of leading components meeting ``target_error``.
+
+    With ``use_bounds`` the decision uses the closed-form error bounds
+    (guaranteed, conservative); otherwise the measured errors.  Raises
+    :class:`ValueError` if even the full representation cannot meet the
+    target (the quantisation floor is the hard limit).
+    """
+    if target_error <= 0:
+        raise ValueError("target_error must be positive")
+    profile = _error_profile(obj, use_bounds=use_bounds)
+    for j, err in enumerate(profile, start=1):
+        if err <= target_error:
+            return j
+    raise ValueError(
+        f"target error {target_error:g} is below the full-representation "
+        f"error {profile[-1]:g}; re-refactor with more bitplanes"
+    )
+
+
+def bytes_for_error(
+    obj: RefactoredObject, target_error: float, *, use_bounds: bool = False
+) -> int:
+    """Bytes that must be retrieved to reach ``target_error``."""
+    j = components_for_error(obj, target_error, use_bounds=use_bounds)
+    return sum(obj.sizes[:j])
+
+
+@dataclass(frozen=True)
+class RetrievalPlan:
+    """The error-vs-bytes frontier of one refactored object.
+
+    ``points[j]`` is ``(cumulative_bytes, error)`` after retrieving the
+    first ``j + 1`` components.
+    """
+
+    points: tuple[tuple[int, float], ...]
+
+    @classmethod
+    def for_object(
+        cls, obj: RefactoredObject, *, use_bounds: bool = False
+    ) -> "RetrievalPlan":
+        profile = _error_profile(obj, use_bounds=use_bounds)
+        acc = 0
+        pts = []
+        for size, err in zip(obj.sizes, profile):
+            acc += size
+            pts.append((acc, float(err)))
+        return cls(tuple(pts))
+
+    @property
+    def total_bytes(self) -> int:
+        return self.points[-1][0]
+
+    @property
+    def floor_error(self) -> float:
+        return self.points[-1][1]
+
+    def error_at_budget(self, byte_budget: float) -> float:
+        """Best error achievable with at most ``byte_budget`` bytes.
+
+        Returns 1.0 (the nothing-retrieved penalty, e0) if even the
+        first component does not fit.
+        """
+        best = 1.0
+        for nbytes, err in self.points:
+            if nbytes <= byte_budget:
+                best = err
+        return best
+
+    def budget_for_error(self, target_error: float) -> int:
+        """Bytes needed for ``target_error`` (ValueError if unreachable)."""
+        for nbytes, err in self.points:
+            if err <= target_error:
+                return nbytes
+        raise ValueError(
+            f"target {target_error:g} below the floor {self.floor_error:g}"
+        )
+
+    def savings_vs_full(self, target_error: float) -> float:
+        """Fraction of retrieval bytes saved by stopping at the target."""
+        return 1.0 - self.budget_for_error(target_error) / self.total_bytes

@@ -1,0 +1,129 @@
+"""Serialisation of refactored objects.
+
+A :class:`~repro.refactor.refactorer.RefactoredObject` round-trips
+either to a directory (one file per component + a manifest — the layout
+fragments ship in, so a partially gathered directory still loads) or to
+a single archive byte string / file (convenient for embedding in other
+stores).  Both use the self-describing container format, so every
+artifact identifies itself.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..formats import Container
+from .grid import LevelPlan
+from .refactorer import RefactoredObject
+
+__all__ = [
+    "save_directory",
+    "load_directory",
+    "to_archive_bytes",
+    "from_archive_bytes",
+    "save_archive",
+    "load_archive",
+]
+
+
+def _manifest_attrs(obj: RefactoredObject) -> dict:
+    return {
+        "shape": list(obj.shape),
+        "dtype": obj.dtype,
+        "plans": [
+            [list(p.fine_shape), list(p.coarse_shape), list(p.coarsened_axes)]
+            for p in obj.plans
+        ],
+        "errors": obj.errors,
+        "bounds": obj.bounds,
+        "data_max": obj.data_max,
+        "correction": obj.correction,
+        "num_components": obj.num_components,
+    }
+
+
+def _object_from_attrs(attrs: dict, payloads: list[bytes]) -> RefactoredObject:
+    return RefactoredObject(
+        shape=tuple(attrs["shape"]),
+        dtype=attrs["dtype"],
+        plans=[
+            LevelPlan(tuple(f), tuple(c), tuple(a))
+            for f, c, a in attrs["plans"]
+        ],
+        payloads=payloads,
+        errors=attrs["errors"][: len(payloads)],
+        bounds=attrs["bounds"][: len(payloads)],
+        data_max=attrs["data_max"],
+        correction=attrs["correction"],
+    )
+
+
+# -- directory layout -------------------------------------------------------
+
+
+def save_directory(obj: RefactoredObject, outdir: str | Path) -> None:
+    """Write ``manifest.rdc`` plus one ``component-XX.bin`` per component."""
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    Container(_manifest_attrs(obj)).write(outdir / "manifest.rdc")
+    for j, payload in enumerate(obj.payloads):
+        (outdir / f"component-{j:02d}.bin").write_bytes(payload)
+
+
+def load_directory(
+    indir: str | Path, *, upto: int | None = None
+) -> RefactoredObject:
+    """Load a refactored object; tolerates a missing component suffix.
+
+    ``upto`` loads only the first N components even when more exist.
+    """
+    indir = Path(indir)
+    manifest = Container.read(indir / "manifest.rdc")
+    total = manifest.attrs["num_components"]
+    limit = total if upto is None else min(upto, total)
+    payloads = []
+    for j in range(limit):
+        path = indir / f"component-{j:02d}.bin"
+        if not path.exists():
+            break
+        payloads.append(path.read_bytes())
+    if not payloads:
+        raise FileNotFoundError(f"no components found under {indir}")
+    return _object_from_attrs(manifest.attrs, payloads)
+
+
+# -- single-file archive ------------------------------------------------------
+
+
+def to_archive_bytes(obj: RefactoredObject) -> bytes:
+    """Pack manifest + all components into one container byte string."""
+    c = Container(_manifest_attrs(obj))
+    for j, payload in enumerate(obj.payloads):
+        c.add_block(f"component-{j:02d}", payload)
+    return c.to_bytes()
+
+
+def from_archive_bytes(
+    data: bytes, *, upto: int | None = None
+) -> RefactoredObject:
+    """Inverse of :func:`to_archive_bytes`; ``upto`` takes a prefix."""
+    c = Container.from_bytes(data)
+    total = c.attrs["num_components"]
+    limit = total if upto is None else min(upto, total)
+    payloads = []
+    for j in range(limit):
+        name = f"component-{j:02d}"
+        if name not in c.block_names():
+            break
+        payloads.append(c.block(name))
+    if not payloads:
+        raise ValueError("archive contains no components")
+    return _object_from_attrs(c.attrs, payloads)
+
+
+def save_archive(obj: RefactoredObject, path: str | Path) -> None:
+    Path(path).write_bytes(to_archive_bytes(obj))
+
+
+def load_archive(path: str | Path, *, upto: int | None = None) -> RefactoredObject:
+    return from_archive_bytes(Path(path).read_bytes(), upto=upto)

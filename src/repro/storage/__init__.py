@@ -1,0 +1,29 @@
+"""Geo-distributed storage substrate: systems, clusters, failure models."""
+
+from .cluster import StorageCluster
+from .failures import (
+    BernoulliFailureModel,
+    CorrelatedFailureModel,
+    MaintenanceSchedule,
+    exact_k_failures,
+)
+from .filestore import FileStorageCluster, FileStorageSystem
+from .placement import CapacityError, CapacityTracker, plan_placement, rebalance_moves
+from .system import StorageSystem, StoredFragment, UnavailableError
+
+__all__ = [
+    "StorageCluster",
+    "FileStorageCluster",
+    "FileStorageSystem",
+    "CapacityTracker",
+    "CapacityError",
+    "plan_placement",
+    "rebalance_moves",
+    "StorageSystem",
+    "StoredFragment",
+    "UnavailableError",
+    "BernoulliFailureModel",
+    "CorrelatedFailureModel",
+    "MaintenanceSchedule",
+    "exact_k_failures",
+]

@@ -1,0 +1,149 @@
+"""The geo-distributed storage cluster: n independently operated systems.
+
+Owns fragment placement (one fragment per system per level, as in the
+paper), failure injection, and the fragment inventory queries the
+gathering optimiser needs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from .system import StorageSystem, StoredFragment, UnavailableError
+
+__all__ = ["StorageCluster"]
+
+
+class StorageCluster:
+    """A set of geo-distributed storage systems.
+
+    Parameters
+    ----------
+    bandwidths:
+        Per-system WAN bandwidth estimates (bytes/s); the cluster size n
+        is ``len(bandwidths)``.
+    names:
+        Optional endpoint names (defaults to ``gcs-00`` ... ``gcs-NN``).
+    """
+
+    def __init__(
+        self,
+        bandwidths: Sequence[float],
+        names: Sequence[str] | None = None,
+    ) -> None:
+        if len(bandwidths) < 2:
+            raise ValueError("a cluster needs at least 2 systems")
+        if any(b <= 0 for b in bandwidths):
+            raise ValueError("bandwidths must be positive")
+        if names is None:
+            names = [f"gcs-{i:02d}" for i in range(len(bandwidths))]
+        if len(names) != len(bandwidths):
+            raise ValueError("names and bandwidths must align")
+        self.systems = [
+            StorageSystem(system_id=i, name=nm, bandwidth=float(bw))
+            for i, (nm, bw) in enumerate(zip(names, bandwidths))
+        ]
+
+    # -- basic queries --------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return len(self.systems)
+
+    @property
+    def bandwidths(self) -> np.ndarray:
+        return np.array([s.bandwidth for s in self.systems])
+
+    def available_ids(self) -> list[int]:
+        return [s.system_id for s in self.systems if s.available]
+
+    def failed_ids(self) -> list[int]:
+        return [s.system_id for s in self.systems if not s.available]
+
+    def __getitem__(self, system_id: int) -> StorageSystem:
+        return self.systems[system_id]
+
+    # -- failure injection -----------------------------------------------
+
+    def fail(self, system_ids: Iterable[int]) -> None:
+        for sid in system_ids:
+            self.systems[sid].fail()
+
+    def restore_all(self) -> None:
+        for s in self.systems:
+            s.restore()
+
+    # -- placement --------------------------------------------------------
+
+    def place_level(
+        self,
+        object_name: str,
+        level: int,
+        fragments: Sequence[bytes | np.ndarray | int],
+        *,
+        system_ids: Sequence[int] | None = None,
+    ) -> list[int]:
+        """Place one level's fragments, one per storage system.
+
+        ``fragments`` entries may be payload bytes/arrays or plain byte
+        counts (simulated fragments).  Default placement is fragment i on
+        system i, matching the paper's one-EC-fragment-per-system layout;
+        a custom ``system_ids`` permutation may be supplied.  Returns the
+        placement (fragment index -> system id).
+        """
+        if system_ids is None:
+            system_ids = list(range(len(fragments)))
+        if len(system_ids) != len(fragments):
+            raise ValueError("system_ids must align with fragments")
+        if len(set(system_ids)) != len(system_ids):
+            raise ValueError("one fragment per system: duplicate placement")
+        if len(fragments) > self.n:
+            raise ValueError(
+                f"{len(fragments)} fragments exceed cluster size {self.n}"
+            )
+        for idx, (frag, sid) in enumerate(zip(fragments, system_ids)):
+            if isinstance(frag, (int, np.integer)):
+                sf = StoredFragment(object_name, level, idx, int(frag), None)
+            else:
+                data = bytes(frag) if not isinstance(frag, bytes) else frag
+                sf = StoredFragment(object_name, level, idx, len(data), data)
+            self.systems[sid].put(sf)
+        return list(system_ids)
+
+    # -- inventory --------------------------------------------------------
+
+    def locate(
+        self, object_name: str, level: int, *, available_only: bool = True
+    ) -> dict[int, int]:
+        """Map fragment index -> system id for one object level."""
+        out: dict[int, int] = {}
+        for s in self.systems:
+            if available_only and not s.available:
+                continue
+            for frag in s._store.values():
+                if frag.object_name == object_name and frag.level == level:
+                    out[frag.index] = s.system_id
+        return out
+
+    def fetch(
+        self, object_name: str, level: int, index: int
+    ) -> StoredFragment:
+        """Fetch a fragment from whichever available system holds it."""
+        for s in self.systems:
+            if s.available and s.has(object_name, level, index):
+                return s.get(object_name, level, index)
+        raise KeyError(
+            f"fragment ({object_name!r}, level {level}, index {index}) "
+            "not reachable on any available system"
+        )
+
+    def total_stored_bytes(self) -> int:
+        return sum(s.used_bytes for s in self.systems)
+
+    def level_available(
+        self, object_name: str, level: int, needed: int
+    ) -> bool:
+        """Can ``needed`` (= k = n - m) fragments of this level be reached?"""
+        return len(self.locate(object_name, level)) >= needed

@@ -1,0 +1,225 @@
+"""File-backed storage systems: fragments persisted as container files.
+
+The in-memory :class:`~repro.storage.cluster.StorageCluster` is ideal
+for simulation; real deployments keep fragments on disk.  This module
+mirrors the cluster API over a directory tree::
+
+    root/
+      system-00/
+        <object>.l0.f00.rdc      # self-describing fragment containers
+        .unavailable             # marker while failed / in maintenance
+      system-01/
+      ...
+      cluster.json               # bandwidths + names
+
+Every fragment file is a :mod:`repro.formats` container, so each one
+carries its object name, level, index and EC parameters — a directory
+restored from tape is fully self-describing even without the metadata
+catalog.  The tree survives process restarts, which is what the CLI's
+``prepare``/``restore`` workflows rely on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..formats import read_fragment_file, write_fragment_file
+from .system import StoredFragment, UnavailableError
+
+__all__ = ["FileStorageSystem", "FileStorageCluster"]
+
+_MARKER = ".unavailable"
+
+
+def _fragment_filename(object_name: str, level: int, index: int) -> str:
+    safe = object_name.replace("/", "_").replace(":", "_")
+    return f"{safe}.l{level}.f{index:02d}.rdc"
+
+
+class FileStorageSystem:
+    """One storage endpoint persisting fragments under a directory."""
+
+    def __init__(self, system_id: int, name: str, bandwidth: float, root: Path):
+        self.system_id = system_id
+        self.name = name
+        self.bandwidth = float(bandwidth)
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- availability -----------------------------------------------------
+
+    @property
+    def available(self) -> bool:
+        return not (self.root / _MARKER).exists()
+
+    def fail(self) -> None:
+        (self.root / _MARKER).touch()
+
+    def restore(self) -> None:
+        marker = self.root / _MARKER
+        if marker.exists():
+            marker.unlink()
+
+    def _check(self) -> None:
+        if not self.available:
+            raise UnavailableError(f"system {self.name} is unavailable")
+
+    # -- fragments ----------------------------------------------------------
+
+    def put(self, frag: StoredFragment) -> None:
+        self._check()
+        if frag.payload is None:
+            raise ValueError("file-backed systems need real payloads")
+        write_fragment_file(
+            self.root / _fragment_filename(*frag.key),
+            frag.payload,
+            object_name=frag.object_name,
+            level=frag.level,
+            index=frag.index,
+            k=0,
+            m=0,
+        )
+
+    def get(self, object_name: str, level: int, index: int) -> StoredFragment:
+        self._check()
+        path = self.root / _fragment_filename(object_name, level, index)
+        if not path.exists():
+            raise KeyError((object_name, level, index))
+        attrs, payload = read_fragment_file(path)
+        return StoredFragment(
+            attrs["object_name"], attrs["level"], attrs["index"],
+            len(payload), payload,
+        )
+
+    def has(self, object_name: str, level: int, index: int) -> bool:
+        return (self.root / _fragment_filename(object_name, level, index)).exists()
+
+    def delete(self, object_name: str, level: int, index: int) -> None:
+        self._check()
+        path = self.root / _fragment_filename(object_name, level, index)
+        if not path.exists():
+            raise KeyError((object_name, level, index))
+        path.unlink()
+
+    def fragment_keys(self) -> list[tuple[str, int, int]]:
+        """Keys of all resident fragments (readable while down: this is
+        inventory, not data access)."""
+        keys = []
+        for path in sorted(self.root.glob("*.rdc")):
+            attrs, _ = read_fragment_file(path)
+            keys.append((attrs["object_name"], attrs["level"], attrs["index"]))
+        return keys
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.root.glob("*.rdc"))
+
+
+class FileStorageCluster:
+    """A persistent cluster over per-system directories.
+
+    Mirrors the parts of :class:`StorageCluster` the pipeline consumes
+    (``n``, ``bandwidths``, ``failed_ids``, ``fail``/``restore_all``,
+    ``place_level``, ``locate``, ``fetch``, ``total_stored_bytes``,
+    ``level_available``), so :class:`repro.core.pipeline.RAPIDS` runs on
+    either implementation unchanged.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        bandwidths=None,
+        names=None,
+    ) -> None:
+        self.root = Path(root)
+        config_path = self.root / "cluster.json"
+        if bandwidths is None:
+            if not config_path.exists():
+                raise ValueError(
+                    f"no cluster at {self.root}; pass bandwidths to create one"
+                )
+            cfg = json.loads(config_path.read_text())
+            bandwidths = cfg["bandwidths"]
+            names = cfg["names"]
+        else:
+            bandwidths = [float(b) for b in bandwidths]
+            if len(bandwidths) < 2:
+                raise ValueError("a cluster needs at least 2 systems")
+            if any(b <= 0 for b in bandwidths):
+                raise ValueError("bandwidths must be positive")
+            if names is None:
+                names = [f"gcs-{i:02d}" for i in range(len(bandwidths))]
+            self.root.mkdir(parents=True, exist_ok=True)
+            config_path.write_text(
+                json.dumps({"bandwidths": bandwidths, "names": list(names)})
+            )
+        self.systems = [
+            FileStorageSystem(i, nm, bw, self.root / f"system-{i:02d}")
+            for i, (nm, bw) in enumerate(zip(names, bandwidths))
+        ]
+
+    @property
+    def n(self) -> int:
+        return len(self.systems)
+
+    @property
+    def bandwidths(self) -> np.ndarray:
+        return np.array([s.bandwidth for s in self.systems])
+
+    def __getitem__(self, system_id: int) -> FileStorageSystem:
+        return self.systems[system_id]
+
+    def available_ids(self) -> list[int]:
+        return [s.system_id for s in self.systems if s.available]
+
+    def failed_ids(self) -> list[int]:
+        return [s.system_id for s in self.systems if not s.available]
+
+    def fail(self, system_ids) -> None:
+        for sid in system_ids:
+            self.systems[sid].fail()
+
+    def restore_all(self) -> None:
+        for s in self.systems:
+            s.restore()
+
+    def place_level(self, object_name, level, fragments, *, system_ids=None):
+        if system_ids is None:
+            system_ids = list(range(len(fragments)))
+        if len(system_ids) != len(fragments):
+            raise ValueError("system_ids must align with fragments")
+        if len(fragments) > self.n:
+            raise ValueError("more fragments than systems")
+        for idx, (frag, sid) in enumerate(zip(fragments, system_ids)):
+            data = bytes(frag) if not isinstance(frag, bytes) else frag
+            self.systems[sid].put(
+                StoredFragment(object_name, level, idx, len(data), data)
+            )
+        return list(system_ids)
+
+    def locate(self, object_name, level, *, available_only=True):
+        out = {}
+        for s in self.systems:
+            if available_only and not s.available:
+                continue
+            for name, lvl, idx in s.fragment_keys():
+                if name == object_name and lvl == level:
+                    out[idx] = s.system_id
+        return out
+
+    def fetch(self, object_name, level, index) -> StoredFragment:
+        for s in self.systems:
+            if s.available and s.has(object_name, level, index):
+                return s.get(object_name, level, index)
+        raise KeyError(
+            f"fragment ({object_name!r}, {level}, {index}) unreachable"
+        )
+
+    def total_stored_bytes(self) -> int:
+        return sum(s.used_bytes for s in self.systems)
+
+    def level_available(self, object_name, level, needed) -> bool:
+        return len(self.locate(object_name, level)) >= needed

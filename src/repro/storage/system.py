@@ -1,0 +1,104 @@
+"""A single geo-distributed storage system (endpoint).
+
+Models one independently operated site: a Globus-Connect-Server-fronted
+HPC storage system with a WAN bandwidth estimate and an availability
+state.  Fragment payloads are held in an in-memory object store keyed by
+``(object_name, level, fragment_index)``; at paper scale the benches use
+*simulated* fragments (byte counts without payloads), which the store
+also accepts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["StorageSystem", "StoredFragment"]
+
+
+@dataclass
+class StoredFragment:
+    """One fragment resident on a storage system.
+
+    ``payload`` is ``None`` for simulated (size-only) fragments.
+    """
+
+    object_name: str
+    level: int
+    index: int
+    nbytes: int
+    payload: bytes | None = None
+    checksum: int | None = None
+
+    @property
+    def key(self) -> tuple[str, int, int]:
+        return (self.object_name, self.level, self.index)
+
+
+@dataclass
+class StorageSystem:
+    """An independently operated storage endpoint.
+
+    Parameters
+    ----------
+    system_id:
+        Stable integer id (index into the cluster).
+    name:
+        Human-readable endpoint name.
+    bandwidth:
+        Estimated WAN bandwidth to/from the user's site, in bytes/second
+        (the paper derives these from Globus transfer logs; ours come
+        from :mod:`repro.transfer.logs`).
+    available:
+        False while the system is failed or under maintenance.
+    """
+
+    system_id: int
+    name: str
+    bandwidth: float
+    available: bool = True
+    _store: dict[tuple[str, int, int], StoredFragment] = field(
+        default_factory=dict, repr=False
+    )
+
+    def put(self, frag: StoredFragment) -> None:
+        """Store a fragment. Refuses while unavailable."""
+        if not self.available:
+            raise UnavailableError(f"system {self.name} is unavailable")
+        self._store[frag.key] = frag
+
+    def get(self, object_name: str, level: int, index: int) -> StoredFragment:
+        """Fetch a fragment. Raises KeyError if absent, UnavailableError if down."""
+        if not self.available:
+            raise UnavailableError(f"system {self.name} is unavailable")
+        return self._store[(object_name, level, index)]
+
+    def has(self, object_name: str, level: int, index: int) -> bool:
+        return (object_name, level, index) in self._store
+
+    def delete(self, object_name: str, level: int, index: int) -> None:
+        if not self.available:
+            raise UnavailableError(f"system {self.name} is unavailable")
+        del self._store[(object_name, level, index)]
+
+    def fragments(self) -> list[StoredFragment]:
+        """All resident fragments (available systems only)."""
+        if not self.available:
+            raise UnavailableError(f"system {self.name} is unavailable")
+        return list(self._store.values())
+
+    @property
+    def used_bytes(self) -> int:
+        """Total bytes resident (counted even while unavailable)."""
+        return sum(f.nbytes for f in self._store.values())
+
+    def fail(self) -> None:
+        """Take the system down (outage or scheduled maintenance)."""
+        self.available = False
+
+    def restore(self) -> None:
+        """Bring the system back; resident fragments survive the outage."""
+        self.available = True
+
+
+class UnavailableError(RuntimeError):
+    """Raised when an operation targets a failed/maintenance system."""

@@ -1,0 +1,53 @@
+"""WAN transfer substrate (Globus substitute): logs, bandwidth estimation,
+and equal-share transfer-time models."""
+
+from .globus import GlobusService, GlobusTask, TaskStatus
+from .network import DiurnalBandwidthModel, DriftingBandwidthModel
+from .tasks import TaskFailed, TransferTask, TransferTaskManager
+from .logs import (
+    GB,
+    MB,
+    TransferRecord,
+    estimate_bandwidths,
+    generate_transfer_logs,
+    paper_bandwidth_profile,
+)
+from .scheduler import (
+    duplication_distribution,
+    ec_distribution,
+    gathering_requests,
+    phase_latency,
+    refactored_distribution,
+)
+from .simulator import (
+    FairShareSimulator,
+    TransferRequest,
+    TransferResult,
+    static_transfer_times,
+)
+
+__all__ = [
+    "MB",
+    "GB",
+    "DriftingBandwidthModel",
+    "DiurnalBandwidthModel",
+    "TransferTask",
+    "TransferTaskManager",
+    "TaskFailed",
+    "GlobusService",
+    "GlobusTask",
+    "TaskStatus",
+    "TransferRecord",
+    "generate_transfer_logs",
+    "estimate_bandwidths",
+    "paper_bandwidth_profile",
+    "TransferRequest",
+    "TransferResult",
+    "static_transfer_times",
+    "FairShareSimulator",
+    "duplication_distribution",
+    "ec_distribution",
+    "refactored_distribution",
+    "gathering_requests",
+    "phase_latency",
+]

@@ -1,0 +1,191 @@
+"""A Globus-like transfer service façade.
+
+The paper's distribution component is "a script that controls the file
+transferring ... by calling the Command Line Interface (CLI) of Globus"
+(§4.2): submit a transfer task between endpoints, poll its status, wait
+for completion, cancel if needed.  This module reproduces that service
+surface over the simulated WAN so the orchestration code paths — task
+books, status polling, event logs, cancellation — exist and are tested,
+not just the bandwidth math.
+
+Time is simulated: the service owns a clock that advances on
+:meth:`GlobusService.wait` / :meth:`poll_until`, with task completion
+times computed by the equal-share model at submission.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["TaskStatus", "GlobusTask", "GlobusService"]
+
+
+class TaskStatus(Enum):
+    ACTIVE = "ACTIVE"
+    SUCCEEDED = "SUCCEEDED"
+    CANCELED = "CANCELED"
+    FAILED = "FAILED"
+
+
+@dataclass
+class GlobusTask:
+    """One submitted transfer task."""
+
+    task_id: str
+    source: int
+    destination: int
+    nbytes: float
+    label: str
+    submitted_at: float
+    completes_at: float = float("inf")
+    status: TaskStatus = TaskStatus.ACTIVE
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.status is not TaskStatus.ACTIVE
+
+
+@dataclass
+class GlobusService:
+    """Simulated transfer service over a set of endpoints.
+
+    Parameters
+    ----------
+    bandwidths:
+        Per-endpoint WAN bandwidth (bytes/s).  Transfers sharing a
+        *source* endpoint split its bandwidth equally (static model);
+        task completion times are fixed at submission from the source's
+        concurrent active count, like the rest of the repository's
+        latency math.
+    failure_prob:
+        Probability a submitted task fails instead of succeeding
+        (evaluated at submission, surfaces at its completion time).
+    """
+
+    bandwidths: np.ndarray
+    failure_prob: float = 0.0
+    seed: int | None = None
+    clock: float = 0.0
+    tasks: dict[str, GlobusTask] = field(default_factory=dict)
+    events: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.bandwidths = np.asarray(self.bandwidths, dtype=np.float64)
+        if np.any(self.bandwidths <= 0):
+            raise ValueError("bandwidths must be positive")
+        if not 0.0 <= self.failure_prob < 1.0:
+            raise ValueError("failure_prob must be in [0, 1)")
+        self._rng = np.random.default_rng(self.seed)
+        self._ids = itertools.count(1)
+
+    # -- submission ------------------------------------------------------
+
+    def submit(
+        self, source: int, destination: int, nbytes: float, *, label: str = ""
+    ) -> str:
+        """Submit a transfer; returns the task id."""
+        for ep in (source, destination):
+            if not 0 <= ep < len(self.bandwidths):
+                raise ValueError(f"unknown endpoint {ep}")
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        task_id = f"task-{next(self._ids):06d}"
+        active_from_source = 1 + sum(
+            1
+            for t in self.tasks.values()
+            if t.status is TaskStatus.ACTIVE and t.source == source
+        )
+        share = self.bandwidths[source] / active_from_source
+        duration = nbytes / share if nbytes else 0.0
+        task = GlobusTask(
+            task_id=task_id,
+            source=source,
+            destination=destination,
+            nbytes=nbytes,
+            label=label,
+            submitted_at=self.clock,
+            completes_at=self.clock + duration,
+        )
+        if self._rng.random() < self.failure_prob:
+            task.status = TaskStatus.ACTIVE  # fails at completion time
+            task.label += " [doomed]"
+        self.tasks[task_id] = task
+        self.events.append(
+            f"t={self.clock:.1f} SUBMIT {task_id} {label!r} "
+            f"{source}->{destination} {nbytes:.0f}B"
+        )
+        return task_id
+
+    # -- queries ----------------------------------------------------------
+
+    def status(self, task_id: str) -> TaskStatus:
+        task = self._get(task_id)
+        self._settle(task)
+        return task.status
+
+    def active_tasks(self) -> list[str]:
+        for t in self.tasks.values():
+            self._settle(t)
+        return [tid for tid, t in self.tasks.items() if not t.is_terminal]
+
+    # -- control -----------------------------------------------------------
+
+    def cancel(self, task_id: str) -> bool:
+        """Cancel a task; returns False if it already finished."""
+        task = self._get(task_id)
+        self._settle(task)
+        if task.is_terminal:
+            return False
+        task.status = TaskStatus.CANCELED
+        self.events.append(f"t={self.clock:.1f} CANCEL {task_id}")
+        return True
+
+    def wait(self, task_id: str) -> TaskStatus:
+        """Advance the clock to the task's completion and return status."""
+        task = self._get(task_id)
+        if not task.is_terminal:
+            self.clock = max(self.clock, task.completes_at)
+            self._settle(task)
+        return task.status
+
+    def wait_all(self) -> float:
+        """Advance the clock until no task is active; returns the clock."""
+        pending = [t for t in self.tasks.values() if not t.is_terminal]
+        if pending:
+            self.clock = max(
+                self.clock, max(t.completes_at for t in pending)
+            )
+            for t in pending:
+                self._settle(t)
+        return self.clock
+
+    def advance(self, seconds: float) -> None:
+        """Advance simulated time without waiting for anything."""
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        self.clock += seconds
+        for t in self.tasks.values():
+            self._settle(t)
+
+    # -- internals -------------------------------------------------------------
+
+    def _get(self, task_id: str) -> GlobusTask:
+        try:
+            return self.tasks[task_id]
+        except KeyError:
+            raise KeyError(f"no such task: {task_id}") from None
+
+    def _settle(self, task: GlobusTask) -> None:
+        if task.is_terminal or self.clock < task.completes_at:
+            return
+        if task.label.endswith("[doomed]"):
+            task.status = TaskStatus.FAILED
+        else:
+            task.status = TaskStatus.SUCCEEDED
+        self.events.append(
+            f"t={task.completes_at:.1f} {task.status.value} {task.task_id}"
+        )

@@ -1,0 +1,92 @@
+"""Time-varying WAN bandwidth models.
+
+The static per-endpoint estimates of §5.1.2 are averages over years of
+transfer logs; real WAN paths drift with competing traffic and diurnal
+load.  The metadata component therefore records every transfer's
+observed throughput so the gathering optimiser can adapt (§4.3).  This
+module provides the ground-truth side of that loop: bandwidth processes
+the simulator can sample while the tracker only sees noisy observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DriftingBandwidthModel", "DiurnalBandwidthModel"]
+
+
+@dataclass
+class DriftingBandwidthModel:
+    """Geometric random-walk bandwidth per endpoint.
+
+    Each call to :meth:`step` multiplies every endpoint's bandwidth by
+    ``exp(N(0, sigma))``, clamped to ``[floor, ceiling]`` times the
+    initial value, so long simulations stay physical.
+    """
+
+    base: np.ndarray
+    sigma: float = 0.05
+    floor: float = 0.2
+    ceiling: float = 5.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        self.base = np.asarray(self.base, dtype=np.float64)
+        if np.any(self.base <= 0):
+            raise ValueError("bandwidths must be positive")
+        if self.sigma < 0:
+            raise ValueError("sigma must be >= 0")
+        if not 0 < self.floor < 1 <= self.ceiling:
+            raise ValueError("need 0 < floor < 1 <= ceiling")
+        self._rng = np.random.default_rng(self.seed)
+        self.current = self.base.copy()
+
+    def step(self) -> np.ndarray:
+        """Advance the walk one epoch; returns the new bandwidths."""
+        self.current = self.current * np.exp(
+            self._rng.normal(0.0, self.sigma, size=self.current.shape)
+        )
+        np.clip(
+            self.current,
+            self.base * self.floor,
+            self.base * self.ceiling,
+            out=self.current,
+        )
+        return self.current.copy()
+
+    def observe(self, system_id: int, *, noise: float = 0.1) -> float:
+        """A noisy per-transfer throughput observation of one endpoint."""
+        true = float(self.current[system_id])
+        return true * float(np.exp(self._rng.normal(0.0, noise)))
+
+
+@dataclass
+class DiurnalBandwidthModel:
+    """Sinusoidal day/night bandwidth variation around the base profile.
+
+    ``amplitude`` is the relative swing (0.3 = ±30%); endpoints get random
+    phases so their peaks do not align.
+    """
+
+    base: np.ndarray
+    amplitude: float = 0.3
+    period: float = 86400.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        self.base = np.asarray(self.base, dtype=np.float64)
+        if np.any(self.base <= 0):
+            raise ValueError("bandwidths must be positive")
+        if not 0 <= self.amplitude < 1:
+            raise ValueError("amplitude must be in [0, 1)")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        rng = np.random.default_rng(self.seed)
+        self._phase = rng.uniform(0, 2 * np.pi, size=self.base.shape)
+
+    def at(self, t: float) -> np.ndarray:
+        """Bandwidths at wall-clock time ``t`` seconds."""
+        swing = np.sin(2 * np.pi * t / self.period + self._phase)
+        return self.base * (1.0 + self.amplitude * swing)

@@ -1,0 +1,101 @@
+"""Tests for the scientific quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import nyx_velocity
+from repro.refactor import Refactorer
+from repro.refactor.analysis import QualityReport, assess, psnr, rmse, spectrum_error
+
+
+FIELD = nyx_velocity((33, 33, 33)).astype(np.float64)
+
+
+class TestBasicMetrics:
+    def test_rmse_identity(self):
+        assert rmse(FIELD, FIELD) == 0.0
+
+    def test_rmse_hand_calc(self):
+        a = np.zeros(4)
+        b = np.array([1.0, -1.0, 1.0, -1.0])
+        assert rmse(a, b) == pytest.approx(1.0)
+
+    def test_rmse_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros(3), np.zeros(4))
+
+    def test_psnr_identity_inf(self):
+        assert psnr(FIELD, FIELD) == float("inf")
+
+    def test_psnr_decreases_with_noise(self):
+        rng = np.random.default_rng(0)
+        small = FIELD + 0.001 * rng.normal(size=FIELD.shape)
+        big = FIELD + 0.1 * rng.normal(size=FIELD.shape)
+        assert psnr(FIELD, small) > psnr(FIELD, big)
+
+    def test_spectrum_identity(self):
+        assert spectrum_error(FIELD, FIELD) == 0.0
+
+    def test_spectrum_detects_smoothing(self):
+        """Zeroing high-frequency content perturbs the spectrum more than
+        adding an equal-RMS constant offset does."""
+        spec = np.fft.rfftn(FIELD)
+        spec_lp = spec.copy()
+        spec_lp[8:, :, :] = 0
+        lowpassed = np.fft.irfftn(spec_lp, s=FIELD.shape,
+                                  axes=(0, 1, 2))
+        offset = FIELD + rmse(FIELD, lowpassed)
+        assert spectrum_error(FIELD, lowpassed) > spectrum_error(FIELD, offset)
+
+
+class TestAssess:
+    def test_identity_report(self):
+        rep = assess(FIELD, FIELD)
+        assert rep.rel_linf == 0.0
+        assert rep.rmse == 0.0
+        assert rep.mean_drift == 0.0
+        assert rep.spectrum_rel_l2 == 0.0
+
+    def test_refactored_reconstruction_quality(self):
+        r = Refactorer(4, num_planes=24)
+        obj = r.refactor(FIELD.astype(np.float32))
+        back = r.reconstruct(obj).astype(np.float64)
+        rep = assess(FIELD, back)
+        assert rep.rel_linf < 1e-5
+        assert rep.psnr_db > 80
+        assert abs(rep.mean_drift) < 1e-5
+        assert abs(rep.std_drift) < 1e-5
+        assert rep.spectrum_rel_l2 < 1e-4
+
+    def test_progressive_quality_ordering(self):
+        """Each additional component improves every metric."""
+        r = Refactorer(4, num_planes=24)
+        obj = r.refactor(FIELD.astype(np.float32))
+        reports = [
+            assess(FIELD, r.reconstruct(obj, upto=j).astype(np.float64))
+            for j in (1, 2, 4)
+        ]
+        assert reports[0].rmse > reports[1].rmse > reports[2].rmse
+        assert reports[0].psnr_db < reports[1].psnr_db < reports[2].psnr_db
+
+    def test_acceptable_for(self):
+        r = Refactorer(4, num_planes=24)
+        obj = r.refactor(FIELD.astype(np.float32))
+        coarse = assess(FIELD, r.reconstruct(obj, upto=1).astype(np.float64))
+        full = assess(FIELD, r.reconstruct(obj).astype(np.float64))
+        assert full.acceptable_for(max_rel_linf=1e-4, min_psnr_db=60)
+        assert not coarse.acceptable_for(max_rel_linf=1e-4)
+
+    def test_offset_field_drift_scaling(self):
+        """Absolute-pressure-like fields (huge offset, small dynamic
+        range) get drift scaled by the range, not the offset."""
+        base = 1e5 + FIELD
+        shifted = base + 0.01 * (FIELD.max() - FIELD.min())
+        rep = assess(base, shifted)
+        assert rep.mean_drift == pytest.approx(0.01, rel=1e-6)
+
+    def test_constant_field(self):
+        c = np.full((8, 8), 3.0)
+        rep = assess(c, c)
+        assert rep.rel_linf == 0.0
+        assert np.isfinite(rep.mean_drift)

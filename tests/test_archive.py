@@ -1,0 +1,166 @@
+"""Tests for the multi-object archive manager."""
+
+import numpy as np
+import pytest
+
+from repro.core import RAPIDS
+from repro.core.archive import Archive
+from repro.metadata import MetadataCatalog
+from repro.refactor import relative_linf_error
+from repro.storage import StorageCluster
+from repro.transfer import paper_bandwidth_profile
+
+
+def fields(k=3, n=17, seed=0):
+    rng = np.random.default_rng(seed)
+    out = {}
+    x = np.linspace(0, 1, n)
+    for i in range(k):
+        ph = rng.uniform(0, 2 * np.pi, 3)
+        f = (
+            np.sin(3 * x + ph[0])[:, None, None]
+            * np.cos(2 * x + ph[1])[None, :, None]
+            * np.sin(4 * x + ph[2])[None, None, :]
+        ).astype(np.float32)
+        out[f"snap{i:02d}:T"] = f
+    return out
+
+
+@pytest.fixture
+def archive(tmp_path):
+    cluster = StorageCluster(paper_bandwidth_profile(16))
+    catalog = MetadataCatalog(tmp_path / "meta")
+    rapids = RAPIDS(cluster, catalog, omega=0.3)
+    yield Archive(rapids)
+    catalog.close()
+
+
+class TestIngest:
+    def test_batch_ingest(self, archive):
+        reports = archive.ingest(fields(3))
+        assert len(reports) == 3
+        assert sorted(archive.names()) == sorted(fields(3).keys())
+        for rep in reports.values():
+            assert rep.storage_overhead <= 0.3 + 1e-9
+
+    def test_empty_ingest(self, archive):
+        with pytest.raises(ValueError):
+            archive.ingest({})
+
+    def test_accounting(self, archive):
+        archive.ingest(fields(2))
+        assert archive.stored_bytes() > 0
+        assert 0 < archive.storage_overhead() <= 0.3 + 1e-9
+
+
+class TestHealth:
+    def test_all_healthy_without_failures(self, archive):
+        archive.ingest(fields(3))
+        h = archive.health()
+        assert h.total == 3
+        assert h.fully_healthy == 3
+        assert h.degraded == 0 and h.dark == 0
+        assert all(o.fragments_lost == 0 for o in h.objects)
+
+    def test_degradation_under_failures(self, archive):
+        reports = archive.ingest(fields(2))
+        ms = next(iter(reports.values())).ft_config
+        archive.rapids.cluster.fail(range(ms[-1] + 1))
+        h = archive.health()
+        assert h.fully_healthy == 0
+        assert h.degraded == 2
+        assert h.worst_error > 0
+
+    def test_dark_archive(self, archive):
+        reports = archive.ingest(fields(1))
+        ms = next(iter(reports.values())).ft_config
+        archive.rapids.cluster.fail(range(ms[0] + 1))
+        h = archive.health()
+        assert h.dark == 1
+        assert h.worst_error == 1.0
+
+
+class TestScrub:
+    def _corrupt(self, archive, name, level, index):
+        sf = archive.rapids.cluster[index].get(name, level, index)
+        payload = bytearray(sf.payload)
+        payload[len(payload) // 3] ^= 0xFF
+        sf.payload = bytes(payload)
+
+    def test_clean_archive_scrubs_clean(self, archive):
+        archive.ingest(fields(2))
+        report = archive.scrub()
+        assert report["corrupt"] == 0
+        assert report["repaired"] == 0
+        assert report["checked"] == 2 * 4 * 16
+
+    def test_scrub_repairs_bit_rot(self, archive):
+        data = fields(1)
+        archive.ingest(data)
+        name = archive.names()[0]
+        for idx in (2, 9):
+            self._corrupt(archive, name, 1, idx)
+        report = archive.scrub()
+        assert report["corrupt"] == 2
+        assert report["repaired"] == 2
+        # a second pass finds nothing
+        assert archive.scrub()["corrupt"] == 0
+        # and the data restores exactly
+        res = archive.rapids.restore(name, strategy="naive")
+        rec = archive.rapids.catalog.get_object(name)
+        assert relative_linf_error(data[name], res.data) <= (
+            rec.level_errors[-1] + 1e-12
+        )
+
+    def test_scrub_detect_only(self, archive):
+        archive.ingest(fields(1))
+        name = archive.names()[0]
+        self._corrupt(archive, name, 0, 5)
+        report = archive.scrub(repair_corrupt=False)
+        assert report["corrupt"] == 1
+        assert report["repaired"] == 0
+        # still corrupt on the next pass
+        assert archive.scrub(repair_corrupt=False)["corrupt"] == 1
+
+
+class TestRepair:
+    def test_repair_restores_redundancy(self, archive):
+        data = fields(2)
+        archive.ingest(data)
+        # two systems lose their disks for good
+        for sid in (1, 6):
+            for frag in list(archive.rapids.cluster[sid]._store.values()):
+                archive.rapids.cluster[sid].delete(*frag.key)
+        h = archive.health()
+        assert any(o.fragments_lost > 0 for o in h.objects)
+
+        rebuilt = archive.repair()
+        assert rebuilt == sum(o.fragments_lost for o in h.objects)
+        h2 = archive.health()
+        assert all(o.fragments_lost == 0 for o in h2.objects)
+
+    def test_repair_skips_down_targets(self, archive):
+        archive.ingest(fields(1))
+        name = archive.names()[0]
+        for frag in list(archive.rapids.cluster[2]._store.values()):
+            archive.rapids.cluster[2].delete(*frag.key)
+        archive.rapids.cluster.fail([2])
+        assert archive.repair() == 0  # home system down, nothing to do
+        archive.rapids.cluster.restore_all()
+        assert archive.repair() > 0
+
+    def test_data_survives_repair_then_failures(self, archive):
+        data = fields(1)
+        archive.ingest(data)
+        name = archive.names()[0]
+        rec = archive.rapids.catalog.get_object(name)
+        # destroy fragments on two systems, repair, then fail others
+        for sid in (0, 5):
+            for frag in list(archive.rapids.cluster[sid]._store.values()):
+                archive.rapids.cluster[sid].delete(*frag.key)
+        archive.repair()
+        archive.rapids.cluster.fail([1, 2, 3])
+        res = archive.rapids.restore(name, strategy="naive")
+        assert res.levels_used == rec.num_levels
+        err = relative_linf_error(data[name], res.data)
+        assert err <= rec.level_errors[-1] + 1e-12

@@ -1,0 +1,129 @@
+"""Tests for the Cauchy-matrix code family, cross-checked against the
+Vandermonde-derived systematic code."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec import RSCode, matrix
+from repro.ec.cauchy import CauchyRSCode, cauchy_matrix
+
+
+class TestCauchyMatrix:
+    def test_every_square_submatrix_invertible(self):
+        xs = np.arange(4, 8, dtype=np.uint8)
+        ys = np.arange(0, 4, dtype=np.uint8)
+        c = cauchy_matrix(xs, ys)
+        for size in (1, 2, 3, 4):
+            for rows in itertools.combinations(range(4), size):
+                for cols in itertools.combinations(range(4), size):
+                    matrix.invert(c[np.ix_(rows, cols)])  # must not raise
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cauchy_matrix(np.array([1, 1], np.uint8), np.array([2, 3], np.uint8))
+        with pytest.raises(ValueError):
+            cauchy_matrix(np.array([1, 2], np.uint8), np.array([2, 3], np.uint8))
+
+
+class TestCauchyCode:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CauchyRSCode(0, 1)
+        with pytest.raises(ValueError):
+            CauchyRSCode(1, -1)
+        with pytest.raises(ValueError):
+            CauchyRSCode(200, 100)
+
+    def test_systematic(self):
+        code = CauchyRSCode(4, 2)
+        data = bytes(range(64))
+        frags = code.encode(data)
+        from repro.ec.reed_solomon import pad_to_fragments
+
+        shards = pad_to_fragments(data, 4)
+        for i in range(4):
+            assert np.array_equal(frags[i], shards[i])
+
+    def test_all_decode_combinations(self):
+        code = CauchyRSCode(3, 3)
+        data = np.random.default_rng(0).bytes(150)
+        frags = code.encode(data)
+        for subset in itertools.combinations(range(6), 3):
+            assert code.decode({i: frags[i] for i in subset}) == data
+
+    def test_zero_parity(self):
+        code = CauchyRSCode(3, 0)
+        data = b"x" * 31
+        frags = code.encode(data)
+        assert code.decode(dict(enumerate(frags))) == data
+
+    def test_insufficient_fragments(self):
+        code = CauchyRSCode(4, 2)
+        frags = code.encode(b"data")
+        with pytest.raises(ValueError):
+            code.decode({0: frags[0]})
+
+    def test_reconstruct(self):
+        code = CauchyRSCode(4, 3)
+        data = bytes(range(101))
+        frags = code.encode(data)
+        avail = {i: frags[i] for i in (1, 3, 4, 6)}
+        for target in range(7):
+            assert np.array_equal(
+                code.reconstruct_fragment(avail, target), frags[target]
+            )
+        with pytest.raises(ValueError):
+            code.reconstruct_fragment(avail, 9)
+
+    def test_generator_readonly(self):
+        code = CauchyRSCode(2, 2)
+        with pytest.raises(ValueError):
+            code.generator[0, 0] = 5
+
+    @given(
+        st.binary(min_size=1, max_size=200),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mds_property(self, data, k, m, seed):
+        code = CauchyRSCode(k, m)
+        frags = code.encode(data)
+        rng = np.random.default_rng(seed)
+        keep = sorted(rng.choice(k + m, size=k, replace=False).tolist())
+        assert code.decode({i: frags[i] for i in keep}) == data
+
+
+class TestFamilyCrossChecks:
+    @pytest.mark.parametrize("k,m", [(2, 1), (4, 2), (5, 3), (12, 4)])
+    def test_families_interoperate_on_data_fragments(self, k, m):
+        """Both codes are systematic, so their data fragments agree; each
+        family decodes from its own parity."""
+        data = np.random.default_rng(1).bytes(500)
+        vand = RSCode(k, m)
+        cauchy = CauchyRSCode(k, m)
+        fv = vand.encode(data)
+        fc = cauchy.encode(data)
+        for i in range(k):
+            assert np.array_equal(fv[i], fc[i])
+        # mixed decode using data fragments only works for either family
+        subset = {i: fv[i] for i in range(k)}
+        assert vand.decode(subset) == cauchy.decode(subset) == data
+
+    def test_parity_fragments_differ(self):
+        """The families are distinct constructions: parity bytes differ."""
+        data = b"q" * 100
+        fv = RSCode(4, 2).encode(data)
+        fc = CauchyRSCode(4, 2).encode(data)
+        assert not all(np.array_equal(fv[4 + i], fc[4 + i]) for i in range(2))
+
+    def test_same_fragment_sizes(self):
+        data = b"z" * 123
+        fv = RSCode(5, 2).encode(data)
+        fc = CauchyRSCode(5, 2).encode(data)
+        assert [f.nbytes for f in fv] == [f.nbytes for f in fc]

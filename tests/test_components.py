@@ -1,0 +1,144 @@
+"""Tests for progressive component grouping and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.refactor.bitplane import encode_planes
+from repro.refactor.components import (
+    assemble_planesets,
+    component_from_bytes,
+    component_to_bytes,
+    group_planes,
+)
+
+
+def _sample_planesets(seed=0, groups=3, counts=(10, 50, 200), scales=(10.0, 1.0, 0.1)):
+    rng = np.random.default_rng(seed)
+    return [
+        encode_planes(rng.normal(scale=s, size=c), num_planes=16)
+        for c, s in zip(counts, scales)
+    ]
+
+
+class TestGrouping:
+    def test_importance_sizes_increase(self):
+        ps = _sample_planesets()
+        comps = group_planes(ps, 4, policy="importance", size_ratio=4.0)
+        sizes = [c.nbytes for c in comps]
+        assert len(comps) == 4
+        assert sizes[0] < sizes[-1]
+
+    def test_all_planes_assigned_once(self):
+        ps = _sample_planesets()
+        comps = group_planes(ps, 4)
+        seen = set()
+        for c in comps:
+            for ref, _ in c.entries:
+                key = (ref.group, ref.plane)
+                assert key not in seen
+                seen.add(key)
+        assert len(seen) == sum(p.num_planes for p in ps)
+
+    def test_msb_prefix_within_group(self):
+        """Across the component sequence, each group's planes appear in
+        MSB-first order, so any prefix of components yields a plane prefix."""
+        ps = _sample_planesets()
+        comps = group_planes(ps, 4)
+        last_plane = {}
+        for c in comps:
+            for ref, _ in c.entries:
+                prev = last_plane.get(ref.group, -1)
+                assert ref.plane == prev + 1, (ref.group, ref.plane, prev)
+                last_plane[ref.group] = ref.plane
+
+    def test_per_level_policy(self):
+        ps = _sample_planesets()
+        comps = group_planes(ps, 3, policy="per-level")
+        for j, c in enumerate(comps):
+            assert all(ref.group == j for ref, _ in c.entries)
+
+    def test_per_level_too_many_components(self):
+        ps = _sample_planesets()
+        with pytest.raises(ValueError):
+            group_planes(ps, 10, policy="per-level")
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            group_planes(_sample_planesets(), 2, policy="nope")
+
+    def test_too_many_components(self):
+        ps = [encode_planes(np.ones(4), num_planes=2)]
+        with pytest.raises(ValueError):
+            group_planes(ps, 10)
+
+    def test_single_component(self):
+        ps = _sample_planesets()
+        comps = group_planes(ps, 1)
+        assert len(comps) == 1
+
+    def test_empty_group_skipped(self):
+        ps = _sample_planesets()
+        ps.append(encode_planes(np.zeros(0)))
+        comps = group_planes(ps, 2)
+        for c in comps:
+            assert all(ref.group < 3 for ref, _ in c.entries)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        ps = _sample_planesets()
+        comps = group_planes(ps, 3)
+        blob = component_to_bytes(comps[1], ps)
+        idx, entries = component_from_bytes(blob)
+        assert idx == 1
+        assert len(entries) == len(comps[1].entries)
+        for (ref, raw), (ref2, raw2, meta) in zip(comps[1].entries, entries):
+            assert ref == ref2
+            assert raw == raw2
+            assert meta == (
+                ps[ref.group].count,
+                ps[ref.group].exponent,
+                ps[ref.group].num_planes,
+            )
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            component_from_bytes(b"XXXX" + b"\x00" * 16)
+
+    def test_truncated(self):
+        ps = _sample_planesets()
+        comps = group_planes(ps, 2)
+        blob = component_to_bytes(comps[0], ps)
+        with pytest.raises(ValueError):
+            component_from_bytes(blob[: len(blob) - 5])
+
+
+class TestAssembly:
+    def test_full_assembly_matches_original(self):
+        ps = _sample_planesets()
+        comps = group_planes(ps, 4)
+        parsed = [
+            component_from_bytes(component_to_bytes(c, ps))[1] for c in comps
+        ]
+        rebuilt = assemble_planesets(parsed)
+        assert len(rebuilt) == len(ps)
+        for orig, back in zip(ps, rebuilt):
+            assert back.count == orig.count
+            assert back.exponent == orig.exponent
+            assert back.num_planes == orig.num_planes
+            assert back.planes == orig.planes
+
+    def test_prefix_assembly_is_plane_prefix(self):
+        ps = _sample_planesets()
+        comps = group_planes(ps, 4)
+        parsed = [
+            component_from_bytes(component_to_bytes(c, ps))[1] for c in comps[:2]
+        ]
+        rebuilt = assemble_planesets(parsed)
+        for orig, back in zip(ps, rebuilt):
+            if back.count == 0:
+                continue
+            assert back.planes == orig.planes[: len(back.planes)]
+
+    def test_empty(self):
+        assert assemble_planesets([]) == []

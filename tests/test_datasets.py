@@ -1,0 +1,127 @@
+"""Tests for the synthetic dataset generators and Table 2 catalog."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    TABLE2,
+    gaussian_random_field,
+    get_object,
+    hurricane_pressure,
+    hurricane_temperature,
+    nyx_temperature,
+    nyx_velocity,
+    object_names,
+    scale_pressure,
+    scale_temperature,
+)
+from repro.refactor import Refactorer
+
+
+class TestGRF:
+    def test_deterministic(self):
+        a = gaussian_random_field((16, 16, 16), seed=3)
+        b = gaussian_random_field((16, 16, 16), seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_field(self):
+        a = gaussian_random_field((16, 16), seed=0)
+        b = gaussian_random_field((16, 16), seed=1)
+        assert not np.allclose(a, b)
+
+    def test_normalised(self):
+        f = gaussian_random_field((32, 32, 32), seed=0)
+        assert abs(float(f.mean())) < 1e-5
+        assert float(f.std()) == pytest.approx(1.0, rel=1e-4)
+
+    def test_slope_controls_smoothness(self):
+        """Higher slope concentrates energy at large scales, so the mean
+        squared gradient (a roughness proxy) must drop."""
+
+        def roughness(f):
+            return float(np.mean(np.diff(f, axis=0) ** 2))
+
+        rough = gaussian_random_field((64, 64), slope=1.0, seed=5)
+        smooth = gaussian_random_field((64, 64), slope=4.0, seed=5)
+        assert roughness(smooth) < roughness(rough)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_random_field((1, 8))
+        with pytest.raises(ValueError):
+            gaussian_random_field((8, 8), slope=-1)
+
+    def test_dtype(self):
+        assert gaussian_random_field((8, 8)).dtype == np.float32
+
+
+class TestNamedFields:
+    @pytest.mark.parametrize(
+        "gen",
+        [
+            nyx_temperature,
+            nyx_velocity,
+            scale_pressure,
+            scale_temperature,
+            hurricane_pressure,
+            hurricane_temperature,
+        ],
+    )
+    def test_basic_properties(self, gen):
+        f = gen((16, 16, 16))
+        assert f.shape == (16, 16, 16)
+        assert f.dtype == np.float32
+        assert np.all(np.isfinite(f))
+
+    def test_nyx_temperature_positive_heavy_tailed(self):
+        f = nyx_temperature((32, 32, 32))
+        assert np.all(f > 0)
+        assert float(f.max()) / float(np.median(f)) > 3
+
+    def test_scale_pressure_stratified(self):
+        f = scale_pressure((32, 16, 16))
+        col_means = f.mean(axis=(1, 2))
+        assert col_means[0] > col_means[-1] * 1.5
+
+    def test_hurricane_pressure_has_low_core(self):
+        f = hurricane_pressure((16, 64, 64))
+        ambient = np.percentile(f, 90)
+        assert float(f.min()) < ambient - 3000
+
+    def test_all_fields_refactor_well(self):
+        """Every generator's output must compress with the hierarchical
+        structure RAPIDS requires (s increasing, e decreasing)."""
+        r = Refactorer(4)
+        for obj in TABLE2:
+            field = obj.proxy((17, 17, 17))
+            out = r.refactor(field.astype(np.float32))
+            assert out.sizes == sorted(out.sizes), obj.full_name
+            assert out.errors == sorted(out.errors, reverse=True), obj.full_name
+
+
+class TestCatalog:
+    def test_six_objects(self):
+        assert len(TABLE2) == 6
+        assert len(object_names()) == 6
+
+    def test_paper_sizes(self):
+        nyx = get_object("NYX:temperature")
+        assert nyx.paper_bytes == pytest.approx(16 * 1024**4)
+        hur = get_object("hurricane:Pf48.bin")
+        assert hur.paper_bytes == pytest.approx(2.98 * 1024**4)
+
+    def test_unknown_object(self):
+        with pytest.raises(KeyError):
+            get_object("LIGO:strain")
+
+    def test_proxy_seeded(self):
+        obj = get_object("SCALE:T")
+        a = obj.proxy((8, 8, 8), seed=9)
+        b = obj.proxy((8, 8, 8), seed=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_per_core_weak_scaling(self):
+        """per-core size x 32768 cores ~ paper total size (Table 2 setup)."""
+        for obj in TABLE2:
+            total = obj.per_core_bytes * 32768
+            assert total == pytest.approx(obj.paper_bytes, rel=0.01), obj.full_name

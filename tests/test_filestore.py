@@ -1,0 +1,158 @@
+"""Tests for the file-backed storage cluster and CLI workflows on it."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import RAPIDS
+from repro.metadata import MetadataCatalog
+from repro.refactor import relative_linf_error
+from repro.storage import FileStorageCluster, StoredFragment, UnavailableError
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    return FileStorageCluster(tmp_path / "cl", bandwidths=[1e9] * 6)
+
+
+class TestFileSystemBackend:
+    def test_put_get_roundtrip(self, cluster):
+        cluster[0].put(StoredFragment("obj:a", 1, 2, 5, b"hello"))
+        got = cluster[0].get("obj:a", 1, 2)
+        assert got.payload == b"hello"
+        assert got.object_name == "obj:a"
+        assert got.level == 1 and got.index == 2
+
+    def test_requires_payload(self, cluster):
+        with pytest.raises(ValueError):
+            cluster[0].put(StoredFragment("o", 0, 0, 10, None))
+
+    def test_missing_raises(self, cluster):
+        with pytest.raises(KeyError):
+            cluster[0].get("ghost", 0, 0)
+        with pytest.raises(KeyError):
+            cluster[0].delete("ghost", 0, 0)
+
+    def test_availability_marker(self, cluster):
+        cluster[1].put(StoredFragment("o", 0, 0, 1, b"x"))
+        cluster.fail([1])
+        assert cluster.failed_ids() == [1]
+        with pytest.raises(UnavailableError):
+            cluster[1].get("o", 0, 0)
+        cluster.restore_all()
+        assert cluster[1].get("o", 0, 0).payload == b"x"
+
+    def test_persistence_across_reopen(self, tmp_path):
+        c1 = FileStorageCluster(tmp_path / "p", bandwidths=[1e9, 2e9])
+        c1.place_level("obj", 0, [b"a", b"b"])
+        c1.fail([0])
+        c2 = FileStorageCluster(tmp_path / "p")  # reopen from cluster.json
+        assert c2.n == 2
+        assert c2.bandwidths[1] == 2e9
+        assert c2.failed_ids() == [0]
+        assert c2.fetch("obj", 0, 1).payload == b"b"
+
+    def test_open_missing_without_config(self, tmp_path):
+        with pytest.raises(ValueError):
+            FileStorageCluster(tmp_path / "nope")
+
+    def test_locate_and_level_available(self, cluster):
+        cluster.place_level("obj", 2, [b"x"] * 6)
+        assert cluster.locate("obj", 2) == {i: i for i in range(6)}
+        cluster.fail([0, 1])
+        assert cluster.level_available("obj", 2, needed=4)
+        assert not cluster.level_available("obj", 2, needed=5)
+
+    def test_used_bytes(self, cluster):
+        assert cluster.total_stored_bytes() == 0
+        cluster.place_level("obj", 0, [b"abcd"] * 3)
+        assert cluster.total_stored_bytes() > 0
+
+
+class TestPipelineOnFiles:
+    def test_full_prepare_restore(self, tmp_path):
+        x = np.linspace(0, 1, 33)
+        data = (
+            np.sin(3 * x)[:, None, None]
+            * np.cos(2 * x)[None, :, None]
+            * np.sin(4 * x)[None, None, :]
+        ).astype(np.float32)
+        from repro.transfer import paper_bandwidth_profile
+
+        cluster = FileStorageCluster(
+            tmp_path / "cl16", bandwidths=paper_bandwidth_profile(16)
+        )
+        with MetadataCatalog(tmp_path / "meta") as catalog:
+            rapids = RAPIDS(cluster, catalog, omega=0.3)
+            prep = rapids.prepare("obj", data)
+            cluster.fail([0, 2])
+            res = rapids.restore("obj", strategy="naive")
+            assert res.levels_used == 4
+            err = relative_linf_error(data, res.data)
+            assert err <= prep.level_errors[-1] + 1e-12
+
+
+class TestCLIWorkflows:
+    def test_prepare_then_restore(self, tmp_path, capsys):
+        x = np.linspace(0, 1, 33)
+        data = np.outer(np.sin(5 * x), np.cos(3 * x)).astype(np.float32)
+        np.save(tmp_path / "field.npy", data)
+        ws = str(tmp_path / "ws")
+        rc = main([
+            "prepare", str(tmp_path / "field.npy"), "demo:field",
+            "--workspace", ws, "--omega", "0.3",
+        ])
+        assert rc == 0
+        assert "expected relative error" in capsys.readouterr().out
+
+        out = tmp_path / "back.npy"
+        rc = main([
+            "restore", "demo:field", str(out),
+            "--workspace", ws, "--failed", "1,4,7",
+        ])
+        assert rc == 0
+        back = np.load(out)
+        assert back.shape == data.shape
+        assert relative_linf_error(data, back) < 1e-3
+
+    def test_restore_with_target_error(self, tmp_path, capsys):
+        x = np.linspace(0, 1, 33)
+        data = np.outer(np.sin(5 * x), np.cos(3 * x)).astype(np.float32)
+        np.save(tmp_path / "f.npy", data)
+        ws = str(tmp_path / "ws")
+        main(["prepare", str(tmp_path / "f.npy"), "o", "--workspace", ws])
+        capsys.readouterr()
+        rc = main([
+            "restore", "o", str(tmp_path / "o.npy"),
+            "--workspace", ws, "--target-error", "0.5",
+        ])
+        assert rc == 0
+        assert "levels used 1" in capsys.readouterr().out
+
+    @staticmethod
+    def _field(tmp_path):
+        x = np.linspace(0, 1, 33)
+        data = np.outer(np.sin(5 * x), np.cos(3 * x)).astype(np.float32)
+        data = np.broadcast_to(data, (33, 33, 33)).copy()
+        np.save(tmp_path / "f.npy", data)
+
+    def test_restore_under_catastrophe(self, tmp_path, capsys):
+        self._field(tmp_path)
+        ws = str(tmp_path / "ws")
+        assert main(
+            ["prepare", str(tmp_path / "f.npy"), "o", "--workspace", ws]
+        ) == 0
+        rc = main([
+            "restore", "o", str(tmp_path / "o.npy"),
+            "--workspace", ws, "--failed", ",".join(str(i) for i in range(15)),
+        ])
+        assert rc == 2
+
+    def test_restore_unknown_object(self, tmp_path, capsys):
+        self._field(tmp_path)
+        ws = str(tmp_path / "ws")
+        assert main(
+            ["prepare", str(tmp_path / "f.npy"), "o", "--workspace", ws]
+        ) == 0
+        rc = main(["restore", "ghost", "x.npy", "--workspace", ws])
+        assert rc == 1

@@ -1,0 +1,115 @@
+"""Tests for the self-describing container format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import (
+    Container,
+    FormatError,
+    crc32,
+    read_fragment_file,
+    verify,
+    write_fragment_file,
+)
+
+
+class TestChecksum:
+    def test_crc_verify(self):
+        assert verify(b"payload", crc32(b"payload"))
+        assert not verify(b"payload", crc32(b"other"))
+
+    def test_crc_empty(self):
+        assert crc32(b"") == 0
+
+
+class TestContainer:
+    def test_roundtrip(self):
+        c = Container({"object_name": "nyx", "level": 2})
+        c.add_block("fragment", b"\x01\x02\x03")
+        c.add_block("aux", b"")
+        back = Container.from_bytes(c.to_bytes())
+        assert back.attrs == {"object_name": "nyx", "level": 2}
+        assert back.block("fragment") == b"\x01\x02\x03"
+        assert back.block("aux") == b""
+        assert back.block_names() == ["fragment", "aux"]
+
+    def test_no_blocks(self):
+        c = Container({"empty": True})
+        back = Container.from_bytes(c.to_bytes())
+        assert back.attrs == {"empty": True}
+        assert back.block_names() == []
+
+    def test_bad_magic(self):
+        with pytest.raises(FormatError):
+            Container.from_bytes(b"XXXX" + b"\x00" * 20)
+
+    def test_corrupted_payload_detected(self):
+        c = Container()
+        c.add_block("fragment", b"A" * 100)
+        raw = bytearray(c.to_bytes())
+        raw[-50] ^= 0xFF
+        with pytest.raises(FormatError, match="checksum"):
+            Container.from_bytes(bytes(raw))
+
+    def test_truncated_payload_detected(self):
+        c = Container()
+        c.add_block("fragment", b"A" * 100)
+        raw = c.to_bytes()
+        with pytest.raises(FormatError):
+            Container.from_bytes(raw[:-10])
+
+    def test_duplicate_block_rejected(self):
+        c = Container()
+        c.add_block("x", b"1")
+        with pytest.raises(ValueError):
+            c.add_block("x", b"2")
+
+    def test_empty_block_name_rejected(self):
+        with pytest.raises(ValueError):
+            Container().add_block("", b"x")
+
+    def test_file_roundtrip(self, tmp_path):
+        c = Container({"k": "v"})
+        c.add_block("data", bytes(range(256)))
+        c.write(tmp_path / "f.rdc")
+        back = Container.read(tmp_path / "f.rdc")
+        assert back.block("data") == bytes(range(256))
+
+    @given(
+        st.dictionaries(st.text(max_size=10), st.integers(), max_size=5),
+        st.binary(max_size=200),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, attrs, payload):
+        c = Container(attrs)
+        c.add_block("b", payload)
+        back = Container.from_bytes(c.to_bytes())
+        assert back.attrs == attrs
+        assert back.block("b") == payload
+
+
+class TestFragmentFiles:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "frag.rdc"
+        write_fragment_file(
+            path,
+            b"fragbytes",
+            object_name="nyx:temperature",
+            level=1,
+            index=7,
+            k=12,
+            m=4,
+            extra={"epoch": 3},
+        )
+        attrs, payload = read_fragment_file(path)
+        assert payload == b"fragbytes"
+        assert attrs["object_name"] == "nyx:temperature"
+        assert attrs["k"] == 12 and attrs["m"] == 4
+        assert attrs["epoch"] == 3
+
+    def test_missing_fragment_block(self, tmp_path):
+        c = Container({"object_name": "x"})
+        c.write(tmp_path / "bad.rdc")
+        with pytest.raises(FormatError):
+            read_fragment_file(tmp_path / "bad.rdc")

@@ -1,0 +1,140 @@
+"""Tests for the gathering strategies (§3.3, §5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    gathering_latency,
+    naive_strategy,
+    optimized_strategy,
+    random_strategy,
+    recoverable_levels,
+)
+from repro.transfer import paper_bandwidth_profile
+
+
+SIZES = [1e9, 5e9, 25e9, 125e9]
+MS = [8, 5, 4, 2]
+BW = paper_bandwidth_profile(16)
+
+
+class TestRecoverableLevels:
+    def test_no_failures_all_levels(self):
+        assert recoverable_levels(MS, [], 16) == [0, 1, 2, 3]
+
+    def test_partial(self):
+        # N=3 failures: levels with m >= 3 survive -> [8, 5, 4]
+        assert recoverable_levels(MS, [0, 1, 2], 16) == [0, 1, 2]
+
+    def test_only_top(self):
+        assert recoverable_levels(MS, list(range(7)), 16) == [0]
+
+    def test_none(self):
+        assert recoverable_levels(MS, list(range(9)), 16) == []
+
+    def test_duplicates_ignored(self):
+        assert recoverable_levels(MS, [1, 1, 1], 16) == recoverable_levels(
+            MS, [1], 16
+        )
+
+    def test_bad_ids(self):
+        with pytest.raises(ValueError):
+            recoverable_levels(MS, [99], 16)
+
+
+class TestStrategies:
+    def test_naive_selects_fastest(self):
+        out = naive_strategy(SIZES, MS, BW)
+        assert out.x.shape == (16, 4)
+        order = np.argsort(BW)[::-1]
+        # level 0 needs 16 - 8 = 8 fragments from the 8 fastest
+        assert set(np.nonzero(out.x[:, 0])[0]) == set(order[:8].tolist())
+
+    def test_random_counts(self):
+        out = random_strategy(SIZES, MS, BW, seed=1)
+        for col, j in enumerate(out.levels_included):
+            assert out.x[:, col].sum() == 16 - MS[j]
+
+    def test_random_seed_variation(self):
+        a = random_strategy(SIZES, MS, BW, seed=1)
+        b = random_strategy(SIZES, MS, BW, seed=2)
+        assert not np.array_equal(a.x, b.x)
+
+    def test_optimized_beats_naive_objective(self):
+        naive = naive_strategy(SIZES, MS, BW)
+        opt = optimized_strategy(
+            SIZES, MS, BW, time_budget=1.0, charged_time=0.0, seed=0
+        )
+        assert opt.objective_value <= naive.objective_value + 1e-9
+
+    def test_optimized_latency_ordering(self):
+        """Fig. 4: Optimized (sans solver time) <= Naive <= typical Random."""
+        naive = naive_strategy(SIZES, MS, BW)
+        opt = optimized_strategy(
+            SIZES, MS, BW, time_budget=1.0, charged_time=0.0, seed=0,
+            objective="makespan",
+        )
+        t_naive = gathering_latency(naive, SIZES, MS, BW)
+        t_opt = gathering_latency(opt, SIZES, MS, BW)
+        rand_ts = [
+            gathering_latency(
+                random_strategy(SIZES, MS, BW, seed=s), SIZES, MS, BW
+            )
+            for s in range(20)
+        ]
+        assert t_opt <= t_naive + 1e-9
+        assert t_opt <= np.mean(rand_ts)
+
+    def test_failures_respected(self):
+        failed = [0, 1]
+        for strat in (
+            random_strategy(SIZES, MS, BW, failed, seed=0),
+            naive_strategy(SIZES, MS, BW, failed),
+            optimized_strategy(
+                SIZES, MS, BW, failed, time_budget=0.2, charged_time=0.0
+            ),
+        ):
+            assert not strat.x[0].any()
+            assert not strat.x[1].any()
+
+    def test_unrecoverable_levels_dropped(self):
+        failed = [0, 1, 2]  # N=3 > m_4=2, level 4 gone
+        out = naive_strategy(SIZES, MS, BW, failed)
+        assert out.levels_included == [0, 1, 2]
+        assert out.x.shape == (16, 3)
+
+    def test_all_levels_lost_raises(self):
+        failed = list(range(9))
+        with pytest.raises(ValueError):
+            naive_strategy(SIZES, MS, BW, failed)
+
+    def test_unknown_strategy_via_latency_charge(self):
+        out = optimized_strategy(
+            SIZES, MS, BW, time_budget=0.1, charged_time=60.0
+        )
+        assert out.solver_time == 60.0
+        lat = gathering_latency(out, SIZES, MS, BW)
+        assert lat >= 60.0
+
+
+class TestLatency:
+    def test_latency_manual(self):
+        """Hand-check the equal-share latency computation."""
+        sizes = [100.0]
+        ms = [1]
+        bw = np.array([10.0, 10.0, 5.0])
+        out = naive_strategy(sizes, ms, bw)
+        # k = 2 fragments of 50 bytes each from the two fast systems
+        lat = gathering_latency(out, sizes, ms, bw)
+        assert lat == pytest.approx(5.0)
+
+    def test_contention_penalty(self):
+        """Two levels forced through one fast system take longer than the
+        single-level time."""
+        sizes = [100.0, 100.0]
+        ms = [1, 1]
+        bw = np.array([100.0, 1.0, 1.0])
+        naive = naive_strategy(sizes, ms, bw)
+        lat = gathering_latency(naive, sizes, ms, bw)
+        # naive sends both levels to systems 0 and 1; system 1 dominates
+        assert lat > 50.0

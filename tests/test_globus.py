@@ -1,0 +1,111 @@
+"""Tests for the Globus-like transfer service façade."""
+
+import numpy as np
+import pytest
+
+from repro.transfer.globus import GlobusService, TaskStatus
+
+
+@pytest.fixture
+def svc():
+    return GlobusService(np.array([10.0, 20.0, 5.0]), seed=0)
+
+
+class TestSubmission:
+    def test_submit_and_wait(self, svc):
+        tid = svc.submit(0, 1, 100.0, label="frag0")
+        assert svc.status(tid) is TaskStatus.ACTIVE
+        assert svc.wait(tid) is TaskStatus.SUCCEEDED
+        assert svc.clock == pytest.approx(10.0)
+
+    def test_zero_byte_task(self, svc):
+        tid = svc.submit(0, 1, 0.0)
+        assert svc.status(tid) is TaskStatus.SUCCEEDED
+
+    def test_validation(self, svc):
+        with pytest.raises(ValueError):
+            svc.submit(9, 0, 1.0)
+        with pytest.raises(ValueError):
+            svc.submit(0, 9, 1.0)
+        with pytest.raises(ValueError):
+            svc.submit(0, 1, -1.0)
+        with pytest.raises(KeyError):
+            svc.status("task-999999")
+        with pytest.raises(ValueError):
+            GlobusService(np.array([0.0]))
+        with pytest.raises(ValueError):
+            svc.advance(-1.0)
+
+    def test_source_contention_slows_tasks(self, svc):
+        a = svc.submit(0, 1, 100.0)
+        b = svc.submit(0, 2, 100.0)
+        # second task submitted while the first is active: half share
+        svc.wait_all()
+        assert svc.tasks[a].completes_at == pytest.approx(10.0)
+        assert svc.tasks[b].completes_at == pytest.approx(20.0)
+
+    def test_event_log(self, svc):
+        tid = svc.submit(0, 1, 50.0, label="x")
+        svc.wait(tid)
+        assert any("SUBMIT" in e for e in svc.events)
+        assert any("SUCCEEDED" in e for e in svc.events)
+
+
+class TestControl:
+    def test_cancel_active(self, svc):
+        tid = svc.submit(0, 1, 1000.0)
+        assert svc.cancel(tid) is True
+        assert svc.status(tid) is TaskStatus.CANCELED
+
+    def test_cancel_finished(self, svc):
+        tid = svc.submit(0, 1, 10.0)
+        svc.wait(tid)
+        assert svc.cancel(tid) is False
+
+    def test_advance_settles(self, svc):
+        tid = svc.submit(0, 1, 100.0)
+        svc.advance(5.0)
+        assert svc.status(tid) is TaskStatus.ACTIVE
+        svc.advance(5.0)
+        assert svc.status(tid) is TaskStatus.SUCCEEDED
+
+    def test_wait_all(self, svc):
+        for dst in (1, 2):
+            svc.submit(0, dst, 100.0)
+        clock = svc.wait_all()
+        assert clock == pytest.approx(20.0)
+        assert svc.active_tasks() == []
+
+
+class TestFailures:
+    def test_failed_tasks_reported(self):
+        svc = GlobusService(np.array([10.0, 10.0]), failure_prob=0.5, seed=1)
+        outcomes = set()
+        for _ in range(20):
+            tid = svc.submit(0, 1, 10.0)
+            outcomes.add(svc.wait(tid))
+        assert TaskStatus.FAILED in outcomes
+        assert TaskStatus.SUCCEEDED in outcomes
+
+    def test_distribution_workflow(self, svc):
+        """The §4.2 orchestration loop: submit all fragments, poll,
+        retry failures to an alternate destination."""
+        svc = GlobusService(np.array([10.0, 10.0, 10.0, 10.0]),
+                            failure_prob=0.3, seed=2)
+        pending = {
+            svc.submit(0, dst, 50.0, label=f"frag->{dst}"): dst
+            for dst in (1, 2, 3)
+        }
+        delivered = set()
+        for attempt in range(10):
+            svc.wait_all()
+            retry = {}
+            for tid, dst in pending.items():
+                if svc.status(tid) is TaskStatus.SUCCEEDED:
+                    delivered.add(dst)
+                elif svc.status(tid) is TaskStatus.FAILED:
+                    retry[svc.submit(0, dst, 50.0, label="retry")] = dst
+            pending = retry
+            if not pending:
+                break
+        assert delivered == {1, 2, 3}

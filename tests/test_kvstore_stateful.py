@@ -1,0 +1,82 @@
+"""Hypothesis stateful (model-based) testing of the KV store.
+
+Drives random interleavings of put/get/delete/compact/reopen against a
+dict model — the strongest correctness evidence for the storage engine,
+because compaction and recovery interact with every other operation.
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.metadata import KVStore
+
+KEYS = st.binary(min_size=1, max_size=12)
+VALUES = st.binary(max_size=64)
+
+
+class KVStoreMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.dir = Path(tempfile.mkdtemp(prefix="kvsm-"))
+        # small segments force frequent rollover during the run
+        self.store = KVStore(self.dir / "db", segment_bytes=2048)
+        self.model: dict[bytes, bytes] = {}
+
+    keys = Bundle("keys")
+
+    @rule(target=keys, key=KEYS)
+    def new_key(self, key):
+        return key
+
+    @rule(key=keys, value=VALUES)
+    def put(self, key, value):
+        self.store.put(key, value)
+        self.model[key] = value
+
+    @rule(key=keys)
+    def get(self, key):
+        assert self.store.get(key) == self.model.get(key)
+
+    @rule(key=keys)
+    def delete(self, key):
+        existed = self.store.delete(key)
+        assert existed == (key in self.model)
+        self.model.pop(key, None)
+
+    @rule()
+    def compact(self):
+        self.store.compact()
+
+    @rule()
+    def reopen(self):
+        """Simulate a clean process restart."""
+        self.store.close()
+        self.store = KVStore(self.dir / "db", segment_bytes=2048)
+
+    @invariant()
+    def length_matches(self):
+        assert len(self.store) == len(self.model)
+
+    @invariant()
+    def scan_matches(self):
+        assert dict(self.store.scan()) == self.model
+
+    def teardown(self):
+        self.store.close()
+        shutil.rmtree(self.dir, ignore_errors=True)
+
+
+KVStoreMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestKVStoreStateful = KVStoreMachine.TestCase

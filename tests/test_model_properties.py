@@ -1,0 +1,108 @@
+"""Property-based tests of the optimisation models' structural invariances.
+
+These pin down symmetries the models must satisfy by construction —
+the kind of invariant that catches silent indexing bugs refactors
+introduce: bandwidth scaling, system relabeling, level ordering, and
+monotonicity of the availability math.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import expected_relative_error
+from repro.optimize import GatheringModel
+
+
+def make_model(bw, needed=(2, 4), sizes=(1e9, 8e9), objective="average"):
+    bw = np.asarray(bw, dtype=np.float64)
+    return GatheringModel(
+        fragment_sizes=np.asarray(sizes, dtype=np.float64),
+        needed=np.asarray(needed),
+        bandwidths=bw,
+        available=np.ones(len(bw), dtype=bool),
+        objective=objective,
+    )
+
+
+bw_st = st.lists(
+    st.floats(1e8, 5e9, allow_nan=False), min_size=6, max_size=10
+)
+
+
+class TestGatheringInvariances:
+    @given(bw_st, st.floats(0.1, 10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_bandwidth_scaling_inverse(self, bw, alpha):
+        """Scaling every bandwidth by alpha scales every objective by
+        1/alpha (time = bytes / rate)."""
+        m1 = make_model(bw)
+        m2 = make_model([b * alpha for b in bw])
+        x = m1.naive_solution()
+        assert m2.evaluate(x) == pytest.approx(m1.evaluate(x) / alpha, rel=1e-9)
+
+    @given(bw_st, st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_system_relabeling_equivariance(self, bw, rnd):
+        """Permuting system labels permutes selections, not objectives."""
+        perm = list(range(len(bw)))
+        rnd.shuffle(perm)
+        m1 = make_model(bw)
+        m2 = make_model([bw[p] for p in perm])
+        x = m1.random_solution(np.random.default_rng(0))
+        x_perm = np.zeros_like(x)
+        for new_i, old_i in enumerate(perm):
+            x_perm[new_i] = x[old_i]
+        assert m2.evaluate(x_perm) == pytest.approx(m1.evaluate(x), rel=1e-9)
+
+    @given(bw_st)
+    @settings(max_examples=30, deadline=None)
+    def test_fragment_size_linearity(self, bw):
+        """Doubling every fragment size doubles every transfer time."""
+        m1 = make_model(bw, sizes=(1e9, 8e9))
+        m2 = make_model(bw, sizes=(2e9, 16e9))
+        x = m1.naive_solution()
+        assert m2.evaluate(x) == pytest.approx(2 * m1.evaluate(x), rel=1e-9)
+
+    @given(bw_st)
+    @settings(max_examples=20, deadline=None)
+    def test_makespan_at_least_average(self, bw):
+        ma = make_model(bw, objective="average")
+        mm = make_model(bw, objective="makespan")
+        x = ma.naive_solution()
+        assert mm.evaluate(x) >= ma.evaluate(x) - 1e-9
+
+
+class TestAvailabilityInvariances:
+    @given(
+        st.floats(1e-4, 0.3),
+        st.integers(min_value=10, max_value=24),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_error_bounded_by_extremes(self, p, n):
+        """E[err] always lies between e_l and e0 = 1."""
+        ms = [min(n - 1, 8), 5, 3, 1]
+        ms = sorted(set(ms), reverse=True)
+        errors = [4e-3 * 10 ** (-1.2 * j) for j in range(len(ms))]
+        e = expected_relative_error(n, p, ms, errors)
+        assert errors[-1] <= e <= 1.0
+
+    @given(st.floats(1e-4, 0.2), st.floats(1e-4, 0.2))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_p(self, p1, p2):
+        """Higher outage probability never improves the expected error."""
+        lo, hi = sorted((p1, p2))
+        ms = [8, 5, 4, 2]
+        errors = [4e-3, 5e-4, 6e-5, 1e-7]
+        assert expected_relative_error(16, lo, ms, errors) <= (
+            expected_relative_error(16, hi, ms, errors) + 1e-15
+        )
+
+    def test_p_zero_and_one_limits(self):
+        ms = [8, 5, 4, 2]
+        errors = [4e-3, 5e-4, 6e-5, 1e-7]
+        assert expected_relative_error(16, 0.0, ms, errors) == pytest.approx(
+            errors[-1]
+        )
+        assert expected_relative_error(16, 1.0, ms, errors) == pytest.approx(1.0)

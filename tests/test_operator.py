@@ -1,0 +1,133 @@
+"""Tests for the maintenance-aware proactive operator."""
+
+import numpy as np
+import pytest
+
+from repro.core import RAPIDS, Archive
+from repro.core.operator import ProactiveOperator
+from repro.metadata import MetadataCatalog
+from repro.refactor import relative_linf_error
+from repro.storage import MaintenanceSchedule, StorageCluster
+from repro.transfer import paper_bandwidth_profile
+
+
+def smooth(seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0, 1, 33)
+    ph = rng.uniform(0, 2 * np.pi, 3)
+    return (
+        np.sin(4 * x + ph[0])[:, None, None]
+        * np.cos(3 * x + ph[1])[None, :, None]
+        * np.sin(2 * x + ph[2])[None, None, :]
+    ).astype(np.float32)
+
+
+@pytest.fixture
+def setup(tmp_path):
+    cluster = StorageCluster(paper_bandwidth_profile(16))
+    catalog = MetadataCatalog(tmp_path / "meta")
+    rapids = RAPIDS(cluster, catalog, omega=0.25)
+    archive = Archive(rapids)
+    data = {"a:T": smooth(0), "b:P": smooth(1)}
+    reports = archive.ingest(data)
+    sched = MaintenanceSchedule()
+    yield archive, sched, data, reports
+    catalog.close()
+
+
+class TestRiskAnalysis:
+    def test_window_systems(self, setup):
+        archive, sched, _, _ = setup
+        op = ProactiveOperator(archive, sched)
+        sched.add_window(2, 10.0, 20.0)
+        sched.add_window(5, 15.0, 25.0)
+        assert op.window_systems(12.0, 18.0) == [2, 5]
+        assert op.window_systems(21.0, 24.0) == [5]
+        assert op.window_systems(30.0, 40.0) == []
+
+    def test_at_risk_levels(self, setup):
+        archive, sched, _, reports = setup
+        ms = next(iter(reports.values())).ft_config
+        # take down one more system than the bottom level tolerates
+        for sid in range(ms[-1] + 1):
+            sched.add_window(sid, 0.0, 10.0)
+        op = ProactiveOperator(archive, sched)
+        risky = op.at_risk(0.0, 10.0)
+        # bottom level of both objects at risk; upper levels fine
+        assert ("a:T", 3) in risky and ("b:P", 3) in risky
+        assert ("a:T", 0) not in risky
+
+    def test_no_risk_small_window(self, setup):
+        archive, sched, _, _ = setup
+        sched.add_window(0, 0.0, 5.0)
+        op = ProactiveOperator(archive, sched)
+        assert op.at_risk(0.0, 5.0) == []
+
+
+class TestStaging:
+    def _big_window(self, sched, reports, extra=1):
+        ms = next(iter(reports.values())).ft_config
+        n_down = ms[-1] + extra
+        for sid in range(n_down):
+            sched.add_window(sid, 100.0, 200.0)
+        return list(range(n_down))
+
+    def test_stage_and_restore_through_window(self, setup):
+        archive, sched, data, reports = setup
+        down = self._big_window(sched, reports)
+        op = ProactiveOperator(archive, sched)
+        created = op.stage_for_window(100.0, 200.0)
+        assert created
+        assert all(c.system_id not in down for c in created)
+
+        # the window arrives
+        archive.rapids.cluster.fail(down)
+        plain = archive.rapids.restore("a:T", strategy="naive")
+        assert plain.levels_used < 4  # without staging: degraded
+        staged_data, levels = op.restore_with_staging("a:T")
+        assert levels == 4
+        err = relative_linf_error(data["a:T"], staged_data)
+        rec = archive.rapids.catalog.get_object("a:T")
+        assert err <= rec.level_errors[-1] + 1e-12
+
+    def test_budget_prefers_cheap_levels(self, setup):
+        archive, sched, _, reports = setup
+        self._big_window(sched, reports, extra=2)  # two levels at risk
+        op = ProactiveOperator(archive, sched)
+        rec = archive.rapids.catalog.get_object("a:T")
+        # budget fits only the two level-2 payloads, not level-3 ones
+        budget = 2 * rec.level_sizes[2] + rec.level_sizes[3] // 2
+        created = op.stage_for_window(100.0, 200.0, budget_bytes=budget)
+        assert created
+        assert all(c.level == 2 for c in created)
+
+    def test_unstage(self, setup):
+        archive, sched, _, reports = setup
+        self._big_window(sched, reports)
+        op = ProactiveOperator(archive, sched)
+        created = op.stage_for_window(100.0, 200.0)
+        assert op.unstage() == len(created)
+        assert op.staged == []
+        assert op.unstage() == 0
+
+    def test_stage_idempotent(self, setup):
+        archive, sched, _, reports = setup
+        self._big_window(sched, reports)
+        op = ProactiveOperator(archive, sched)
+        first = op.stage_for_window(100.0, 200.0)
+        second = op.stage_for_window(100.0, 200.0)
+        assert first and not second
+
+    def test_validation(self, setup):
+        archive, sched, _, reports = setup
+        op = ProactiveOperator(archive, sched)
+        with pytest.raises(ValueError):
+            op.stage_for_window(0.0, 1.0, budget_bytes=0)
+
+    def test_all_systems_down_rejected(self, setup):
+        archive, sched, _, _ = setup
+        for sid in range(16):
+            sched.add_window(sid, 0.0, 1.0)
+        op = ProactiveOperator(archive, sched)
+        with pytest.raises(RuntimeError):
+            op.stage_for_window(0.0, 1.0)

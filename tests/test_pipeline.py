@@ -1,0 +1,200 @@
+"""End-to-end tests of the RAPIDS pipeline (prepare + restore)."""
+
+import numpy as np
+import pytest
+
+from repro.core import RAPIDS
+from repro.metadata import MetadataCatalog
+from repro.refactor import Refactorer, relative_linf_error
+from repro.storage import StorageCluster
+from repro.transfer import paper_bandwidth_profile
+
+
+def smooth_field(n=33, seed=0):
+    rng = np.random.default_rng(seed)
+    ax = np.meshgrid(*[np.linspace(0, 1, n)] * 3, indexing="ij")
+    u = np.zeros([n] * 3)
+    for k in (1, 2, 4):
+        ph = rng.uniform(0, 2 * np.pi, 3)
+        u += (
+            np.sin(2 * np.pi * k * ax[0] + ph[0])
+            * np.cos(2 * np.pi * k * ax[1] + ph[1])
+            * np.sin(2 * np.pi * k * ax[2] + ph[2])
+            / k
+        )
+    return u.astype(np.float32)
+
+
+@pytest.fixture
+def rapids(tmp_path):
+    cluster = StorageCluster(paper_bandwidth_profile(16))
+    catalog = MetadataCatalog(tmp_path / "meta")
+    system = RAPIDS(cluster, catalog, refactorer=Refactorer(4), omega=0.25)
+    yield system
+    catalog.close()
+
+
+class TestPrepare:
+    def test_full_prepare(self, rapids):
+        data = smooth_field()
+        rep = rapids.prepare("nyx:t", data)
+        assert len(rep.ft_config) == 4
+        assert rep.ft_config == sorted(rep.ft_config, reverse=True)
+        assert rep.storage_overhead <= 0.25 + 1e-9
+        assert 0 < rep.expected_error < 1
+        assert rep.distribution_latency > 0
+        assert set(rep.timings) == {
+            "read", "refactor", "ft_optimize", "ec_encode", "write", "metadata",
+        }
+
+    def test_fragments_placed(self, rapids):
+        data = smooth_field()
+        rapids.prepare("obj", data)
+        for level in range(4):
+            assert len(rapids.cluster.locate("obj", level)) == 16
+
+    def test_metadata_registered(self, rapids):
+        rapids.prepare("obj", smooth_field())
+        rec = rapids.catalog.get_object("obj")
+        assert rec.n_systems == 16
+        assert len(rec.level_sizes) == 4
+        frag = rapids.catalog.get_fragment("obj", 0, 0)
+        assert frag.system_id == 0
+
+    def test_prepare_via_globus_service(self, rapids):
+        from repro.transfer import GlobusService
+
+        svc = GlobusService(rapids.cluster.bandwidths, seed=0)
+        rep = rapids.prepare("obj", smooth_field(), transfer_service=svc)
+        assert rep.distribution_latency > 0
+        assert not svc.active_tasks()
+        assert any("SUBMIT" in e for e in svc.events)
+
+    def test_prepare_via_flaky_globus_retries(self, rapids):
+        from repro.transfer import GlobusService, TaskStatus
+
+        svc = GlobusService(
+            rapids.cluster.bandwidths, failure_prob=0.3, seed=1
+        )
+        rep = rapids.prepare("obj", smooth_field(), transfer_service=svc)
+        assert rep.network_bytes > sum(rep.level_sizes)  # retries cost bytes
+        outcomes = {t.status for t in svc.tasks.values()}
+        assert TaskStatus.FAILED in outcomes  # some attempts failed...
+        res = rapids.restore("obj", strategy="naive")  # ...yet data is whole
+        assert res.levels_used == 4
+
+    def test_fragment_files_written(self, rapids, tmp_path):
+        rapids.prepare("a:b", smooth_field(n=17), fragment_dir=tmp_path / "frags")
+        files = list((tmp_path / "frags").glob("*.rdc"))
+        assert len(files) == 4 * 16
+        from repro.formats import read_fragment_file
+
+        attrs, payload = read_fragment_file(files[0])
+        assert attrs["object_name"] == "a:b"
+        assert len(payload) > 0
+
+
+class TestRestore:
+    def test_no_failures_full_accuracy(self, rapids):
+        data = smooth_field()
+        prep = rapids.prepare("obj", data)
+        rep = rapids.restore("obj", strategy="naive")
+        assert rep.levels_used == 4
+        err = relative_linf_error(data, rep.data)
+        assert err == pytest.approx(prep.level_errors[-1], abs=1e-9)
+        assert err < 1e-4
+
+    def test_partial_failures_partial_accuracy(self, rapids):
+        data = smooth_field()
+        prep = rapids.prepare("obj", data)
+        ms = prep.ft_config
+        # fail just more systems than the bottom level tolerates
+        n_fail = ms[-1] + 1
+        rapids.cluster.fail(list(range(n_fail)))
+        rep = rapids.restore("obj", strategy="naive")
+        assert rep.levels_used < 4
+        err = relative_linf_error(data, rep.data)
+        assert err == pytest.approx(prep.level_errors[rep.levels_used - 1], abs=1e-9)
+
+    def test_catastrophic_failure(self, rapids):
+        prep = rapids.prepare("obj", smooth_field())
+        rapids.cluster.fail(list(range(prep.ft_config[0] + 1)))
+        rep = rapids.restore("obj", strategy="naive")
+        assert rep.levels_used == 0
+        assert rep.data is None
+        assert rep.achieved_error == 1.0
+
+    def test_strategies_give_same_data(self, rapids):
+        data = smooth_field()
+        rapids.prepare("obj", data)
+        rapids.cluster.fail([3, 7])
+        outs = {}
+        for strat in ("random", "naive", "optimized"):
+            rep = rapids.restore(
+                "obj", strategy=strat, solver_budget=0.2, seed=1
+            )
+            outs[strat] = rep
+        ref = outs["naive"].data
+        for strat, rep in outs.items():
+            np.testing.assert_array_equal(rep.data, ref)
+
+    def test_unknown_strategy(self, rapids):
+        rapids.prepare("obj", smooth_field(n=17))
+        with pytest.raises(ValueError):
+            rapids.restore("obj", strategy="psychic")
+
+    def test_adaptive_strategy(self, rapids):
+        data = smooth_field()
+        rapids.prepare("obj", data)
+        # first restore seeds the throughput history (§4.3)
+        rapids.restore("obj", strategy="naive")
+        assert rapids.catalog.bandwidth_estimate(0) is not None
+        res = rapids.restore("obj", strategy="adaptive", solver_budget=0.2)
+        assert res.levels_used == 4
+        np.testing.assert_array_equal(
+            res.data, rapids.restore("obj", strategy="naive").data
+        )
+
+    def test_restore_unknown_object(self, rapids):
+        with pytest.raises(KeyError):
+            rapids.restore("ghost")
+
+    def test_timings_present(self, rapids):
+        rapids.prepare("obj", smooth_field(n=17))
+        rep = rapids.restore("obj", strategy="naive")
+        assert set(rep.timings) == {
+            "gather_optimize", "gather", "ec_decode", "reconstruct",
+        }
+        assert rep.total_time > 0
+
+    def test_gathering_latency_includes_solver_charge(self, rapids):
+        rapids.prepare("obj", smooth_field(n=17))
+        rep = rapids.restore(
+            "obj", strategy="optimized", solver_budget=0.1,
+            charged_solver_time=60.0,
+        )
+        assert rep.gathering_latency >= 60.0
+
+
+class TestSurvivability:
+    @pytest.mark.parametrize("n_fail", [1, 2, 3, 4])
+    def test_accuracy_degrades_monotonically(self, rapids, n_fail):
+        data = smooth_field()
+        rapids.prepare("obj", data)
+        rapids.cluster.fail(list(range(n_fail)))
+        rep = rapids.restore("obj", strategy="naive")
+        if rep.data is not None:
+            err = relative_linf_error(data, rep.data)
+            assert err < 1.0
+
+    def test_repeated_fail_restore_cycles(self, rapids):
+        data = smooth_field()
+        rapids.prepare("obj", data)
+        prev_err = 0.0
+        for n_fail in (6, 4, 2, 0):
+            rapids.cluster.restore_all()
+            rapids.cluster.fail(list(range(n_fail)))
+            rep = rapids.restore("obj", strategy="naive")
+            err = relative_linf_error(data, rep.data)
+            assert err >= 0
+        assert rep.levels_used == 4

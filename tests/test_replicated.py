@@ -1,0 +1,176 @@
+"""Tests for the quorum-replicated metadata store (the paper's future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metadata import MetadataCatalog, ObjectRecord, QuorumError, ReplicatedKVStore
+
+
+def make_store(tmp_path, n=3, **kw):
+    return ReplicatedKVStore([tmp_path / f"rep{i}" for i in range(n)], **kw)
+
+
+class TestBasics:
+    def test_put_get_delete(self, tmp_path):
+        with make_store(tmp_path) as kv:
+            kv.put(b"k", b"v1")
+            assert kv.get(b"k") == b"v1"
+            kv.put(b"k", b"v2")
+            assert kv.get(b"k") == b"v2"
+            assert kv.delete(b"k") is True
+            assert kv.get(b"k") is None
+            assert kv.delete(b"k") is False
+
+    def test_scan_keys_len_contains(self, tmp_path):
+        with make_store(tmp_path) as kv:
+            kv.put(b"a/1", b"x")
+            kv.put(b"a/2", b"y")
+            kv.put(b"b/1", b"z")
+            kv.delete(b"a/2")
+            assert kv.keys(b"a/") == [b"a/1"]
+            assert kv.scan(b"b/") == [(b"b/1", b"z")]
+            assert b"a/1" in kv and b"a/2" not in kv
+            assert len(kv) == 2
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            ReplicatedKVStore([tmp_path / "one"])
+        with pytest.raises(ValueError):
+            make_store(tmp_path, write_quorum=1, read_quorum=1)
+        with pytest.raises(ValueError):
+            make_store(tmp_path, write_quorum=5)
+        with make_store(tmp_path) as kv:
+            with pytest.raises(TypeError):
+                kv.put(b"k", "str")
+
+
+class TestFailures:
+    def test_survives_minority_failure(self, tmp_path):
+        with make_store(tmp_path, n=3) as kv:
+            kv.put(b"k", b"before")
+            kv.fail_replica(0)
+            assert kv.get(b"k") == b"before"
+            kv.put(b"k", b"after")
+            assert kv.get(b"k") == b"after"
+
+    def test_quorum_loss_blocks_writes(self, tmp_path):
+        with make_store(tmp_path, n=3) as kv:
+            kv.fail_replica(0)
+            kv.fail_replica(1)
+            with pytest.raises(QuorumError):
+                kv.put(b"k", b"v")
+            with pytest.raises(QuorumError):
+                kv.get(b"k")
+
+    def test_stale_replica_never_wins(self, tmp_path):
+        """Quorum intersection: a write during a replica outage is still
+        observed after the stale replica returns."""
+        with make_store(tmp_path, n=3) as kv:
+            kv.put(b"k", b"v1")
+            kv.fail_replica(2)
+            kv.put(b"k", b"v2")
+            kv.restore_replica(2)
+            for _ in range(5):
+                assert kv.get(b"k") == b"v2"
+
+    def test_tombstone_survives_stale_replica(self, tmp_path):
+        with make_store(tmp_path, n=3) as kv:
+            kv.put(b"k", b"v")
+            kv.fail_replica(2)
+            kv.delete(b"k")
+            kv.restore_replica(2)
+            assert kv.get(b"k") is None
+            assert kv.keys() == []
+
+    def test_read_repair(self, tmp_path):
+        with make_store(tmp_path, n=3, read_quorum=3, write_quorum=1) as kv:
+            kv.put(b"k", b"v1")
+            kv.fail_replica(2)
+            kv.put(b"k", b"v2")
+            kv.restore_replica(2)
+            kv.get(b"k")  # triggers read repair on replica 2
+            raw = kv.replicas[2].get(b"k")
+            assert raw is not None
+            assert kv._decode(raw)[2] == b"v2"
+
+    def test_recover_replica(self, tmp_path):
+        with make_store(tmp_path, n=3) as kv:
+            for i in range(20):
+                kv.put(f"key-{i}".encode(), str(i).encode())
+            kv.fail_replica(1)
+            for i in range(20, 30):
+                kv.put(f"key-{i}".encode(), str(i).encode())
+            kv.delete(b"key-0")
+            copied = kv.recover_replica(1)
+            assert copied > 0
+            # after recovery, replica 1 alone has everything current
+            kv.fail_replica(0)
+            kv.fail_replica(2)
+            kv.restore_replica(1)
+            # need read quorum 2: restore replica 0 too
+            kv.restore_replica(0)
+            assert kv.get(b"key-25") == b"25"
+            assert kv.get(b"key-0") is None
+
+
+class TestCatalogIntegration:
+    def test_catalog_over_replicated_store(self, tmp_path):
+        kv = make_store(tmp_path, n=3)
+        cat = MetadataCatalog(kv)
+        rec = ObjectRecord(
+            name="obj", shape=[8, 8], dtype="float32",
+            level_sizes=[10, 100], level_errors=[0.1, 0.01],
+            ft_config=[3, 1], n_systems=8,
+        )
+        cat.put_object(rec)
+        kv.fail_replica(0)
+        got = cat.get_object("obj")
+        assert got.ft_config == [3, 1]
+        assert cat.list_objects() == ["obj"]
+        kv.close()
+
+    def test_durability_across_reopen(self, tmp_path):
+        paths = [tmp_path / f"rep{i}" for i in range(3)]
+        with ReplicatedKVStore(paths) as kv:
+            kv.put(b"persist", b"yes")
+        with ReplicatedKVStore(paths) as kv:
+            assert kv.get(b"persist") == b"yes"
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from([b"k1", b"k2", b"k3"]),
+            st.one_of(st.binary(max_size=16), st.none()),
+            st.sampled_from([None, 0, 1, 2]),  # replica to toggle before op
+        ),
+        max_size=25,
+    )
+)
+@settings(max_examples=20, deadline=None)
+def test_matches_dict_model_under_churn(tmp_path_factory, ops):
+    """Property: with quorums intact, the replicated store behaves like a
+    dict even while individual replicas bounce up and down."""
+    path = tmp_path_factory.mktemp("rkv")
+    model = {}
+    with ReplicatedKVStore([path / f"r{i}" for i in range(3)]) as kv:
+        down: set[int] = set()
+        for key, val, toggle in ops:
+            if toggle is not None:
+                if toggle in down:
+                    down.remove(toggle)
+                    kv.restore_replica(toggle)
+                    kv.recover_replica(toggle)
+                elif len(down) == 0:  # keep a majority up at all times
+                    down.add(toggle)
+                    kv.fail_replica(toggle)
+            if val is None:
+                model.pop(key, None)
+                kv.delete(key)
+            else:
+                model[key] = val
+                kv.put(key, val)
+            for k in (b"k1", b"k2", b"k3"):
+                assert kv.get(k) == model.get(k)

@@ -1,0 +1,147 @@
+"""Tests for error-controlled retrieval (progressive, adaptable access)."""
+
+import numpy as np
+import pytest
+
+from repro.core import RAPIDS
+from repro.metadata import MetadataCatalog
+from repro.refactor import (
+    Refactorer,
+    RetrievalPlan,
+    bytes_for_error,
+    components_for_error,
+    relative_linf_error,
+)
+from repro.storage import StorageCluster
+from repro.transfer import paper_bandwidth_profile
+
+
+@pytest.fixture(scope="module")
+def obj():
+    x = np.linspace(0, 1, 49)
+    field = (
+        np.sin(4 * np.pi * x)[:, None, None]
+        * np.cos(2 * np.pi * x)[None, :, None]
+        * np.sin(6 * np.pi * x)[None, None, :]
+    ).astype(np.float32)
+    return Refactorer(4, num_planes=24).refactor(field), field
+
+
+class TestComponentsForError:
+    def test_loose_target_needs_few(self, obj):
+        o, _ = obj
+        assert components_for_error(o, 1.0) == 1
+
+    def test_exact_boundaries(self, obj):
+        o, _ = obj
+        for j, err in enumerate(o.errors, start=1):
+            assert components_for_error(o, err) == j
+
+    def test_tight_target_needs_all(self, obj):
+        o, _ = obj
+        tight = (o.errors[-1] + o.errors[-2]) / 2
+        assert components_for_error(o, tight) == o.num_components
+
+    def test_unreachable_raises(self, obj):
+        o, _ = obj
+        with pytest.raises(ValueError, match="below the full"):
+            components_for_error(o, o.errors[-1] / 10 if o.errors[-1] > 0 else 1e-300)
+
+    def test_invalid_target(self, obj):
+        o, _ = obj
+        with pytest.raises(ValueError):
+            components_for_error(o, 0.0)
+
+    def test_bounds_are_conservative(self, obj):
+        o, _ = obj
+        for target in (1e-1, 1e-2):
+            j_bound = components_for_error(o, target, use_bounds=True)
+            j_meas = components_for_error(o, target)
+            assert j_bound >= j_meas
+
+    def test_reconstruction_actually_meets_target(self, obj):
+        o, field = obj
+        r = Refactorer(4, num_planes=24)
+        for target in (1e-1, 1e-2, 1e-3):
+            j = components_for_error(o, target)
+            back = r.reconstruct(o, upto=j)
+            assert relative_linf_error(field, back) <= target
+
+
+class TestRetrievalPlan:
+    def test_frontier_monotone(self, obj):
+        o, _ = obj
+        plan = RetrievalPlan.for_object(o)
+        nbytes = [b for b, _ in plan.points]
+        errs = [e for _, e in plan.points]
+        assert nbytes == sorted(nbytes)
+        assert errs == sorted(errs, reverse=True)
+
+    def test_budget_lookups(self, obj):
+        o, _ = obj
+        plan = RetrievalPlan.for_object(o)
+        assert plan.error_at_budget(0) == 1.0
+        assert plan.error_at_budget(plan.total_bytes) == plan.floor_error
+        mid_budget = plan.points[1][0]
+        assert plan.error_at_budget(mid_budget) == plan.points[1][1]
+
+    def test_budget_for_error(self, obj):
+        o, _ = obj
+        plan = RetrievalPlan.for_object(o)
+        assert plan.budget_for_error(1.0) == plan.points[0][0]
+        with pytest.raises(ValueError):
+            plan.budget_for_error(plan.floor_error / 1e6 if plan.floor_error else 1e-300)
+
+    def test_savings(self, obj):
+        o, _ = obj
+        plan = RetrievalPlan.for_object(o)
+        loose = plan.savings_vs_full(plan.points[0][1])
+        assert 0.5 < loose < 1.0  # first component is a tiny fraction
+        assert plan.savings_vs_full(plan.floor_error) == 0.0
+
+    def test_bytes_for_error_consistency(self, obj):
+        o, _ = obj
+        plan = RetrievalPlan.for_object(o)
+        target = o.errors[1]
+        assert bytes_for_error(o, target) == plan.budget_for_error(target)
+
+
+class TestPipelineTargetError:
+    def test_target_error_reduces_gathering(self, tmp_path):
+        from repro.datasets import scale_pressure
+
+        data = scale_pressure((33, 33, 33))
+        cluster = StorageCluster(paper_bandwidth_profile(16))
+        with MetadataCatalog(tmp_path / "meta") as catalog:
+            rapids = RAPIDS(cluster, catalog, omega=0.3)
+            prep = rapids.prepare("obj", data)
+            full = rapids.restore("obj", strategy="naive")
+            loose = rapids.restore(
+                "obj", strategy="naive", target_error=prep.level_errors[0]
+            )
+            assert loose.levels_used == 1
+            assert full.levels_used == 4
+            assert loose.gathering_latency < full.gathering_latency
+            err = relative_linf_error(data, loose.data)
+            assert err <= prep.level_errors[0]
+
+    def test_target_error_validation(self, tmp_path):
+        from repro.datasets import scale_pressure
+
+        cluster = StorageCluster(paper_bandwidth_profile(16))
+        with MetadataCatalog(tmp_path / "meta") as catalog:
+            rapids = RAPIDS(cluster, catalog)
+            rapids.prepare("obj", scale_pressure((17, 17, 17)))
+            with pytest.raises(ValueError):
+                rapids.restore("obj", target_error=-1.0)
+
+    def test_unreachable_target_uses_everything(self, tmp_path):
+        """A target below the floor still restores the best available."""
+        from repro.datasets import scale_pressure
+
+        cluster = StorageCluster(paper_bandwidth_profile(16))
+        with MetadataCatalog(tmp_path / "meta") as catalog:
+            rapids = RAPIDS(cluster, catalog)
+            rapids.prepare("obj", scale_pressure((17, 17, 17)))
+            res = rapids.restore("obj", strategy="naive", target_error=1e-300)
+            assert res.levels_used == 4

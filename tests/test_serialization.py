@@ -1,0 +1,106 @@
+"""Tests for refactored-object serialization (directory + archive)."""
+
+import numpy as np
+import pytest
+
+from repro.refactor import (
+    Refactorer,
+    from_archive_bytes,
+    load_archive,
+    load_directory,
+    relative_linf_error,
+    save_archive,
+    save_directory,
+    to_archive_bytes,
+)
+
+
+@pytest.fixture(scope="module")
+def obj_and_data():
+    x = np.linspace(0, 1, 33)
+    data = (
+        np.sin(3 * x)[:, None] * np.cos(5 * x)[None, :]
+    ).astype(np.float32)
+    return Refactorer(3, num_planes=24).refactor(data), data
+
+
+class TestDirectory:
+    def test_roundtrip(self, tmp_path, obj_and_data):
+        obj, data = obj_and_data
+        save_directory(obj, tmp_path / "out")
+        back = load_directory(tmp_path / "out")
+        assert back.shape == obj.shape
+        assert back.payloads == obj.payloads
+        assert back.errors == obj.errors
+        r = Refactorer(3)
+        assert relative_linf_error(data, r.reconstruct(back)) < 1e-5
+
+    def test_partial_directory_loads(self, tmp_path, obj_and_data):
+        """A directory missing trailing components (not yet gathered)
+        still loads as a valid prefix."""
+        obj, data = obj_and_data
+        save_directory(obj, tmp_path / "p")
+        (tmp_path / "p" / "component-02.bin").unlink()
+        back = load_directory(tmp_path / "p")
+        assert len(back.payloads) == 2
+        r = Refactorer(3)
+        err = relative_linf_error(data, r.reconstruct(back))
+        assert err == pytest.approx(obj.errors[1], abs=1e-12)
+
+    def test_upto(self, tmp_path, obj_and_data):
+        obj, _ = obj_and_data
+        save_directory(obj, tmp_path / "u")
+        back = load_directory(tmp_path / "u", upto=1)
+        assert len(back.payloads) == 1
+
+    def test_empty_raises(self, tmp_path, obj_and_data):
+        obj, _ = obj_and_data
+        save_directory(obj, tmp_path / "e")
+        for j in range(3):
+            (tmp_path / "e" / f"component-{j:02d}.bin").unlink()
+        with pytest.raises(FileNotFoundError):
+            load_directory(tmp_path / "e")
+
+
+class TestArchive:
+    def test_bytes_roundtrip(self, obj_and_data):
+        obj, _ = obj_and_data
+        blob = to_archive_bytes(obj)
+        back = from_archive_bytes(blob)
+        assert back.payloads == obj.payloads
+        assert back.plans == obj.plans
+        assert back.data_max == obj.data_max
+
+    def test_file_roundtrip(self, tmp_path, obj_and_data):
+        obj, data = obj_and_data
+        save_archive(obj, tmp_path / "obj.rdc")
+        back = load_archive(tmp_path / "obj.rdc")
+        r = Refactorer(3)
+        np.testing.assert_array_equal(
+            r.reconstruct(back), r.reconstruct(obj)
+        )
+
+    def test_prefix_load(self, tmp_path, obj_and_data):
+        obj, _ = obj_and_data
+        save_archive(obj, tmp_path / "a.rdc")
+        back = load_archive(tmp_path / "a.rdc", upto=2)
+        assert len(back.payloads) == 2
+        assert back.errors == obj.errors[:2]
+
+    def test_corrupt_archive_detected(self, tmp_path, obj_and_data):
+        from repro.formats import FormatError
+
+        obj, _ = obj_and_data
+        blob = bytearray(to_archive_bytes(obj))
+        blob[-20] ^= 0xFF
+        with pytest.raises(FormatError):
+            from_archive_bytes(bytes(blob))
+
+    def test_empty_archive_raises(self):
+        from repro.formats import Container
+
+        c = Container({"num_components": 0, "shape": [2], "dtype": "float32",
+                       "plans": [], "errors": [], "bounds": [],
+                       "data_max": 1.0, "correction": True})
+        with pytest.raises(ValueError):
+            from_archive_bytes(c.to_bytes())

@@ -1,0 +1,92 @@
+"""Tests for out-of-core streaming refactoring."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    stream_reconstruct,
+    stream_reconstruct_region,
+    stream_refactor,
+)
+from repro.refactor import Refactorer, relative_linf_error
+
+
+def field(n0=48, n=17, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0, 1, n0)[:, None, None]
+    y = np.linspace(0, 1, n)[None, :, None]
+    z = np.linspace(0, 1, n)[None, None, :]
+    return (
+        np.sin(3 * x) * np.cos(2 * y) * np.sin(4 * z)
+        + 0.01 * rng.normal(size=(n0, n, n))
+    ).astype(np.float32)
+
+
+class TestStreamRefactor:
+    def test_roundtrip_in_memory_source(self, tmp_path):
+        data = field()
+        index = stream_refactor(data, tmp_path / "s", block_planes=16)
+        assert index["num_blocks"] == 3
+        back = stream_reconstruct(tmp_path / "s")
+        assert back.shape == data.shape
+        assert back.dtype == data.dtype
+        assert relative_linf_error(data, back) < 1e-5
+
+    def test_roundtrip_npy_source_memory_mapped(self, tmp_path):
+        data = field()
+        np.save(tmp_path / "big.npy", data)
+        stream_refactor(tmp_path / "big.npy", tmp_path / "s", block_planes=20)
+        back = stream_reconstruct(tmp_path / "s")
+        assert relative_linf_error(data, back) < 1e-5
+
+    def test_index_written(self, tmp_path):
+        data = field()
+        stream_refactor(data, tmp_path / "s", block_planes=16)
+        index = json.loads((tmp_path / "s" / "index.json").read_text())
+        assert index["shape"] == list(data.shape)
+        bounds = [(b["start"], b["stop"]) for b in index["blocks"]]
+        assert bounds[0][0] == 0 and bounds[-1][1] == data.shape[0]
+        for (a0, a1), (b0, b1) in zip(bounds, bounds[1:]):
+            assert a1 == b0
+
+    def test_progressive_prefix(self, tmp_path):
+        data = field()
+        stream_refactor(data, tmp_path / "s", block_planes=16,
+                        refactorer=Refactorer(4, num_planes=24))
+        lossy = stream_reconstruct(tmp_path / "s", upto=1,
+                                   refactorer=Refactorer(4))
+        full = stream_reconstruct(tmp_path / "s", refactorer=Refactorer(4))
+        assert relative_linf_error(data, lossy) > relative_linf_error(data, full)
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            stream_refactor(field(), tmp_path / "x", block_planes=1)
+        with pytest.raises(ValueError):
+            stream_refactor(np.ones((1, 4), np.float32), tmp_path / "x")
+        with pytest.raises(FileNotFoundError):
+            stream_reconstruct(tmp_path / "missing")
+
+
+class TestRegion:
+    def test_region_matches_full(self, tmp_path):
+        data = field()
+        stream_refactor(data, tmp_path / "s", block_planes=16)
+        full = stream_reconstruct(tmp_path / "s")
+        region = stream_reconstruct_region(tmp_path / "s", 10, 37)
+        np.testing.assert_array_equal(region, full[10:37])
+
+    def test_region_within_one_block(self, tmp_path):
+        data = field()
+        stream_refactor(data, tmp_path / "s", block_planes=16)
+        region = stream_reconstruct_region(tmp_path / "s", 2, 5)
+        full = stream_reconstruct(tmp_path / "s")
+        np.testing.assert_array_equal(region, full[2:5])
+
+    def test_region_validation(self, tmp_path):
+        stream_refactor(field(), tmp_path / "s", block_planes=16)
+        with pytest.raises(ValueError):
+            stream_reconstruct_region(tmp_path / "s", 5, 5)
+        with pytest.raises(ValueError):
+            stream_reconstruct_region(tmp_path / "s", 0, 999)

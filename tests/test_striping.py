@@ -1,0 +1,100 @@
+"""Tests for striped erasure coding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec.striping import StripedCode
+
+
+class TestStripedRoundTrip:
+    def test_multi_stripe_roundtrip(self):
+        code = StripedCode(4, 2, stripe_bytes=100)
+        payload = np.random.default_rng(0).bytes(950)  # 10 stripes
+        enc = code.encode(payload)
+        assert enc.num_stripes == 10
+        assert code.decode(enc, dict(enumerate(enc.fragments))) == payload
+
+    def test_single_stripe(self):
+        code = StripedCode(3, 1, stripe_bytes=1 << 20)
+        payload = b"small payload"
+        enc = code.encode(payload)
+        assert enc.num_stripes == 1
+        assert code.decode(enc, dict(enumerate(enc.fragments))) == payload
+
+    def test_empty_payload(self):
+        code = StripedCode(2, 1)
+        enc = code.encode(b"")
+        assert code.decode(enc, dict(enumerate(enc.fragments))) == b""
+
+    def test_loss_tolerance(self):
+        code = StripedCode(4, 2, stripe_bytes=64)
+        payload = bytes(range(256)) * 3
+        enc = code.encode(payload)
+        survivors = {i: enc.fragments[i] for i in (0, 2, 4, 5)}
+        assert code.decode(enc, survivors) == payload
+
+    def test_insufficient_fragments(self):
+        code = StripedCode(4, 2, stripe_bytes=64)
+        enc = code.encode(b"x" * 300)
+        with pytest.raises(ValueError):
+            code.decode(enc, {0: enc.fragments[0]})
+
+    def test_parallel_encode_matches_serial(self):
+        code = StripedCode(4, 2, stripe_bytes=128)
+        payload = np.random.default_rng(1).bytes(1024)
+        serial = code.encode(payload, processes=1)
+        parallel = code.encode(payload, processes=2)
+        for a, b in zip(serial.fragments, parallel.fragments):
+            assert np.array_equal(a, b)
+
+    def test_stripe_bytes_validation(self):
+        with pytest.raises(ValueError):
+            StripedCode(8, 2, stripe_bytes=4)
+
+    def test_fragments_concatenate_per_stripe(self):
+        """A striped fragment equals the concatenation of the per-stripe
+        fragments of a plain code run stripe by stripe."""
+        from repro.ec import RSCode
+
+        code = StripedCode(3, 2, stripe_bytes=50)
+        payload = bytes(range(130))
+        enc = code.encode(payload)
+        plain = RSCode(3, 2)
+        expected = [
+            np.concatenate([
+                np.frombuffer(plain.encode(payload[off:off + 50])[i].tobytes(), np.uint8)
+                for off in range(0, 130, 50)
+            ])
+            for i in range(5)
+        ]
+        for a, b in zip(enc.fragments, expected):
+            assert np.array_equal(a, b)
+
+
+class TestRepair:
+    def test_repair_striped_fragment(self):
+        code = StripedCode(4, 3, stripe_bytes=40)
+        payload = np.random.default_rng(2).bytes(333)
+        enc = code.encode(payload)
+        avail = {i: enc.fragments[i] for i in (0, 1, 3, 5)}
+        for target in range(7):
+            rebuilt = code.repair_fragment(enc, avail, target)
+            assert np.array_equal(rebuilt, enc.fragments[target])
+
+
+@given(
+    st.binary(min_size=0, max_size=700),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=16, max_value=200),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_striped_mds_property(payload, k, m, stripe, seed):
+    code = StripedCode(k, m, stripe_bytes=max(stripe, k))
+    enc = code.encode(payload)
+    rng = np.random.default_rng(seed)
+    keep = sorted(rng.choice(k + m, size=k, replace=False).tolist())
+    assert code.decode(enc, {i: enc.fragments[i] for i in keep}) == payload

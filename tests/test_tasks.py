@@ -1,0 +1,131 @@
+"""Tests for the managed transfer-task layer (retries, failover)."""
+
+import numpy as np
+import pytest
+
+from repro.transfer import TaskFailed, TransferTask, TransferTaskManager
+
+
+def mk_tasks(n=4, nbytes=100.0):
+    return [TransferTask(nbytes, [i % 4], tag=i) for i in range(n)]
+
+
+class TestTask:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransferTask(-1.0, [0])
+        with pytest.raises(ValueError):
+            TransferTask(1.0, [])
+
+    def test_throughput_before_completion(self):
+        t = TransferTask(100.0, [0])
+        assert t.throughput == 0.0
+
+
+class TestManagerHappyPath:
+    def test_all_complete(self):
+        mgr = TransferTaskManager(np.array([10.0] * 4), seed=0)
+        tasks = mk_tasks()
+        makespan = mgr.run(tasks)
+        assert all(t.completed for t in tasks)
+        assert makespan == pytest.approx(10.0)  # 100 bytes at 10 B/s
+
+    def test_contention_shares_bandwidth(self):
+        mgr = TransferTaskManager(np.array([10.0]))
+        tasks = [TransferTask(100.0, [0], tag=i) for i in range(2)]
+        makespan = mgr.run(tasks)
+        assert makespan == pytest.approx(20.0)
+
+    def test_completion_callback(self):
+        seen = []
+        mgr = TransferTaskManager(
+            np.array([10.0, 20.0]),
+            on_complete=lambda s, b, t: seen.append((s, b, t)),
+        )
+        mgr.run([TransferTask(100.0, [1], tag="x")])
+        assert seen == [(1, 100.0, pytest.approx(5.0))]
+
+    def test_zero_byte_task(self):
+        mgr = TransferTaskManager(np.array([10.0]))
+        assert mgr.run([TransferTask(0.0, [0])]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransferTaskManager(np.array([0.0]))
+        with pytest.raises(ValueError):
+            TransferTaskManager(np.array([1.0]), failure_prob=1.0)
+        with pytest.raises(ValueError):
+            TransferTaskManager(np.array([1.0]), max_retries=0)
+        mgr = TransferTaskManager(np.array([1.0]))
+        with pytest.raises(ValueError):
+            mgr.run([TransferTask(1.0, [7])])
+
+
+class TestFailureHandling:
+    def test_retries_recover(self):
+        mgr = TransferTaskManager(
+            np.array([10.0]), failure_prob=0.5, max_retries=10, seed=1
+        )
+        tasks = [TransferTask(100.0, [0], tag=i) for i in range(5)]
+        mgr.run(tasks)
+        assert all(t.completed for t in tasks)
+        assert sum(t.attempts for t in tasks) > 5  # some retries happened
+        assert any("failed" in line for line in mgr.log)
+
+    def test_retries_cost_time(self):
+        clean = TransferTaskManager(np.array([10.0]), failure_prob=0.0)
+        flaky = TransferTaskManager(
+            np.array([10.0]), failure_prob=0.6, max_retries=50, seed=2
+        )
+        t_clean = clean.run([TransferTask(1000.0, [0])])
+        t_flaky = flaky.run([TransferTask(1000.0, [0])])
+        assert t_flaky > t_clean
+
+    def test_failover_to_second_source(self):
+        """With retries certain to fail (prob ~1), the task fails over."""
+        mgr = TransferTaskManager(
+            np.array([10.0, 10.0]), failure_prob=0.95, max_retries=2, seed=3
+        )
+        # find a seed-dependent run where the first source exhausts
+        task = TransferTask(100.0, [0, 1], tag="fo")
+        try:
+            mgr.run([task])
+        except TaskFailed:
+            pytest.skip("both sources failed under this seed")
+        assert task.completed
+
+    def test_exhaustion_raises(self):
+        mgr = TransferTaskManager(
+            np.array([10.0]), failure_prob=0.999999, max_retries=3, seed=4
+        )
+        with pytest.raises(TaskFailed):
+            mgr.run([TransferTask(100.0, [0], tag="doomed")])
+
+    def test_deterministic_with_seed(self):
+        def run():
+            mgr = TransferTaskManager(
+                np.array([10.0]), failure_prob=0.4, max_retries=20, seed=7
+            )
+            t = TransferTask(100.0, [0])
+            mgr.run([t])
+            return t.attempts, t.elapsed
+
+        assert run() == run()
+
+
+class TestTrackerIntegration:
+    def test_feeds_bandwidth_tracker(self, tmp_path):
+        from repro.core import BandwidthTracker
+        from repro.metadata import MetadataCatalog
+
+        with MetadataCatalog(tmp_path / "m") as cat:
+            tracker = BandwidthTracker(cat, np.array([10.0, 99.0]))
+            mgr = TransferTaskManager(
+                np.array([10.0, 20.0]),
+                on_complete=tracker.observe,
+            )
+            for _ in range(5):
+                mgr.run([TransferTask(100.0, [1])])
+            est = tracker.estimates()
+            assert est[1] == pytest.approx(20.0, rel=1e-6)
+            assert est[0] == 10.0  # untouched prior

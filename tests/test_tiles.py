@@ -1,0 +1,118 @@
+"""Tests for multi-axis tiled decomposition and ROI reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.tiles import (
+    TileGrid,
+    tile_reconstruct,
+    tile_reconstruct_roi,
+    tile_refactor,
+)
+from repro.refactor import Refactorer, relative_linf_error
+
+
+def field(n=36, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0, 1, n)
+    return (
+        np.sin(4 * x)[:, None, None]
+        * np.cos(3 * x)[None, :, None]
+        * np.sin(2 * x)[None, None, :]
+        + 0.01 * rng.normal(size=(n, n, n))
+    ).astype(np.float32)
+
+
+class TestTileGrid:
+    def test_regular_geometry(self):
+        grid = TileGrid.regular((36, 36, 36), 3)
+        assert grid.grid_shape == (3, 3, 3)
+        assert grid.num_tiles == 27
+        # boxes partition the domain
+        cover = np.zeros((36, 36, 36), dtype=int)
+        for idx in grid.tile_indices():
+            cover[grid.tile_box(idx)] += 1
+        assert np.all(cover == 1)
+
+    def test_anisotropic(self):
+        grid = TileGrid.regular((40, 12, 8), (4, 2, 1))
+        assert grid.grid_shape == (4, 2, 1)
+
+    def test_clamps_tiny_axes(self):
+        grid = TileGrid.regular((8, 4), (10, 10))
+        for d in range(2):
+            widths = np.diff(grid.bounds[d])
+            assert np.all(widths >= 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TileGrid.regular((8, 8), (2,))
+        with pytest.raises(ValueError):
+            TileGrid.regular((8, 8), 0)
+        grid = TileGrid.regular((8, 8), 2)
+        with pytest.raises(ValueError):
+            grid.tiles_intersecting(((0, 4),))
+        with pytest.raises(ValueError):
+            grid.tiles_intersecting(((0, 9), (0, 4)))
+
+    def test_tiles_intersecting(self):
+        grid = TileGrid.regular((36, 36, 36), 3)
+        # a box inside one tile
+        assert grid.tiles_intersecting(((0, 5), (0, 5), (0, 5))) == [(0, 0, 0)]
+        # a box straddling a cut at 12
+        hits = grid.tiles_intersecting(((10, 14), (0, 5), (0, 5)))
+        assert set(hits) == {(0, 0, 0), (1, 0, 0)}
+        # the full domain hits everything
+        assert len(grid.tiles_intersecting(((0, 36),) * 3)) == 27
+
+
+class TestTileRefactoring:
+    def test_roundtrip(self):
+        data = field()
+        grid = TileGrid.regular(data.shape, 3)
+        tiles = tile_refactor(data, grid, refactorer=Refactorer(3, num_planes=24))
+        back = tile_reconstruct(tiles, grid, refactorer=Refactorer(3))
+        assert back.shape == data.shape
+        assert relative_linf_error(data, back) < 1e-4
+
+    def test_shape_mismatch(self):
+        grid = TileGrid.regular((10, 10), 2)
+        with pytest.raises(ValueError):
+            tile_refactor(field(), grid)
+
+    def test_roi_matches_full(self):
+        data = field()
+        grid = TileGrid.regular(data.shape, 3)
+        tiles = tile_refactor(data, grid, refactorer=Refactorer(3, num_planes=24))
+        full = tile_reconstruct(tiles, grid, refactorer=Refactorer(3))
+        roi = ((5, 20), (13, 30), (0, 9))
+        box, touched = tile_reconstruct_roi(
+            tiles, grid, roi, refactorer=Refactorer(3)
+        )
+        np.testing.assert_array_equal(
+            box, full[5:20, 13:30, 0:9]
+        )
+        assert touched < grid.num_tiles
+
+    def test_small_roi_touches_few_tiles(self):
+        data = field()
+        grid = TileGrid.regular(data.shape, 3)
+        tiles = tile_refactor(data, grid, refactorer=Refactorer(3, num_planes=24))
+        _, touched = tile_reconstruct_roi(
+            tiles, grid, ((0, 6), (0, 6), (0, 6)), refactorer=Refactorer(3)
+        )
+        assert touched == 1
+
+    def test_progressive_roi(self):
+        data = field()
+        grid = TileGrid.regular(data.shape, 2)
+        tiles = tile_refactor(data, grid, refactorer=Refactorer(3, num_planes=24))
+        roi = ((0, 18), (0, 18), (0, 18))
+        lossy, _ = tile_reconstruct_roi(
+            tiles, grid, roi, upto=1, refactorer=Refactorer(3)
+        )
+        exact, _ = tile_reconstruct_roi(
+            tiles, grid, roi, refactorer=Refactorer(3)
+        )
+        ref = data[0:18, 0:18, 0:18]
+        assert relative_linf_error(ref, lossy) > relative_linf_error(ref, exact)

@@ -1,0 +1,203 @@
+"""Tests for the multilevel decompose/recompose transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.refactor import transform
+from repro.refactor.grid import plan_levels
+
+
+def _roundtrip(u, correction=True, max_levels=6):
+    mallat, plans = transform.decompose(
+        u, max_levels=max_levels, correction=correction
+    )
+    return transform.recompose(mallat, plans, correction=correction), plans
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("n", [3, 4, 5, 8, 9, 17, 33, 100, 101])
+    def test_1d(self, n):
+        rng = np.random.default_rng(n)
+        u = rng.normal(size=n)
+        back, _ = _roundtrip(u)
+        np.testing.assert_allclose(back, u, rtol=0, atol=1e-10)
+
+    @pytest.mark.parametrize("shape", [(9, 9), (17, 33), (10, 7), (4, 4)])
+    def test_2d(self, shape):
+        rng = np.random.default_rng(42)
+        u = rng.normal(size=shape)
+        back, _ = _roundtrip(u)
+        np.testing.assert_allclose(back, u, rtol=0, atol=1e-10)
+
+    @pytest.mark.parametrize("shape", [(9, 9, 9), (17, 8, 5), (6, 6, 6)])
+    def test_3d(self, shape):
+        rng = np.random.default_rng(7)
+        u = rng.normal(size=shape)
+        back, _ = _roundtrip(u)
+        np.testing.assert_allclose(back, u, rtol=0, atol=1e-10)
+
+    def test_without_correction(self):
+        rng = np.random.default_rng(3)
+        u = rng.normal(size=(17, 17))
+        back, _ = _roundtrip(u, correction=False)
+        np.testing.assert_allclose(back, u, rtol=0, atol=1e-10)
+
+    @given(
+        arrays(
+            np.float64,
+            array_shapes(min_dims=1, max_dims=3, min_side=3, max_side=20),
+            elements=st.floats(-1e6, 1e6, allow_nan=False, width=64),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, u):
+        back, _ = _roundtrip(u)
+        scale = max(1.0, float(np.max(np.abs(u))))
+        np.testing.assert_allclose(back, u, rtol=0, atol=1e-8 * scale)
+
+
+class TestStructure:
+    def test_mallat_shape_preserved(self):
+        u = np.random.default_rng(0).normal(size=(17, 17))
+        mallat, plans = transform.decompose(u)
+        assert mallat.shape == u.shape
+
+    def test_level_flat_indices_partition(self):
+        shape = (17, 9)
+        plans = plan_levels(shape, 3)
+        groups = transform.level_flat_indices(plans, shape)
+        allidx = np.sort(np.concatenate(groups))
+        assert allidx.tolist() == list(range(17 * 9))
+        # group 0 is the coarsest corner
+        assert groups[0].size == int(np.prod(plans[-1].coarse_shape))
+
+    def test_group_sizes_increase(self):
+        shape = (65, 65)
+        plans = plan_levels(shape, 4)
+        groups = transform.level_flat_indices(plans, shape)
+        sizes = [g.size for g in groups]
+        assert sizes == sorted(sizes)
+
+    def test_smooth_data_has_small_details(self):
+        """On a smooth field, detail coefficients are much smaller than
+        the coarse approximation — the property RAPIDS exploits."""
+        x = np.linspace(0, 1, 65)
+        u = np.sin(2 * np.pi * np.outer(x, x))
+        mallat, plans = transform.decompose(u)
+        groups = transform.level_flat_indices(plans, u.shape)
+        flat = mallat.reshape(-1)
+        coarse_mag = np.max(np.abs(flat[groups[0]]))
+        finest_mag = np.max(np.abs(flat[groups[-1]]))
+        assert finest_mag < coarse_mag / 10
+
+    def test_correction_changes_coarse(self):
+        u = np.random.default_rng(5).normal(size=33)
+        with_c, plans = transform.decompose(u, correction=True)
+        without_c, _ = transform.decompose(u, correction=False)
+        groups = transform.level_flat_indices(plans, u.shape)
+        # detail coefficients identical; coarse values differ
+        np.testing.assert_allclose(
+            with_c.reshape(-1)[groups[-1]], without_c.reshape(-1)[groups[-1]]
+        )
+        assert not np.allclose(
+            with_c.reshape(-1)[groups[0]], without_c.reshape(-1)[groups[0]]
+        )
+
+    def test_l2_correction_improves_coarse_approximation(self):
+        """Dropping all detail, the corrected coarse reconstruction should
+        have lower L2 error than the uncorrected one (that is the point
+        of the projection step)."""
+        x = np.linspace(0, 1, 129)
+        u = np.sin(4 * np.pi * x) + 0.3 * np.sin(11 * np.pi * x)
+
+        def coarse_only_error(correction):
+            mallat, plans = transform.decompose(
+                u, max_levels=3, correction=correction
+            )
+            groups = transform.level_flat_indices(plans, u.shape)
+            flat = mallat.reshape(-1).copy()
+            for g in groups[1:]:
+                flat[g] = 0.0
+            back = transform.recompose(
+                flat.reshape(u.shape), plans, correction=correction
+            )
+            return float(np.sqrt(np.mean((back - u) ** 2)))
+
+        assert coarse_only_error(True) < coarse_only_error(False)
+
+
+class TestAlgebraicProperties:
+    @given(
+        arrays(
+            np.float64,
+            array_shapes(min_dims=1, max_dims=2, min_side=3, max_side=17),
+            elements=st.floats(-1e3, 1e3, allow_nan=False, width=64),
+        ),
+        st.floats(-5, 5, allow_nan=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_linearity(self, u, alpha):
+        """The multilevel transform is linear: T(a*u) == a*T(u)."""
+        m1, plans = transform.decompose(u)
+        m2, _ = transform.decompose(alpha * u, plans)
+        np.testing.assert_allclose(
+            m2, alpha * m1, atol=1e-9 * max(1.0, abs(alpha) * np.abs(u).max())
+        )
+
+    @given(
+        arrays(
+            np.float64,
+            (9, 9),
+            elements=st.floats(-1e3, 1e3, allow_nan=False, width=64),
+        ),
+        arrays(
+            np.float64,
+            (9, 9),
+            elements=st.floats(-1e3, 1e3, allow_nan=False, width=64),
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_additivity(self, u, v):
+        """T(u + v) == T(u) + T(v)."""
+        mu, plans = transform.decompose(u)
+        mv, _ = transform.decompose(v, plans)
+        muv, _ = transform.decompose(u + v, plans)
+        scale = max(1.0, np.abs(u).max() + np.abs(v).max())
+        np.testing.assert_allclose(muv, mu + mv, atol=1e-9 * scale)
+
+    def test_constant_maps_to_coarse_only(self):
+        """Constants are reproduced by the coarse basis: every detail
+        coefficient vanishes (partition of unity of the hat functions)."""
+        u = np.full((17, 17), 3.5)
+        mallat, plans = transform.decompose(u)
+        groups = transform.level_flat_indices(plans, u.shape)
+        flat = mallat.reshape(-1)
+        for g in groups[1:]:
+            np.testing.assert_allclose(flat[g], 0.0, atol=1e-12)
+
+
+class TestAxisKernels:
+    def test_decompose_axis_reorders(self):
+        u = np.arange(9, dtype=np.float64)
+        out = transform.decompose_axis(u[None, :], 1)
+        # linear data: detail coefficients are exactly zero, and with zero
+        # detail the correction is zero so coarse values pass through
+        np.testing.assert_allclose(out[0, :5], u[::2])
+        np.testing.assert_allclose(out[0, 5:], 0.0, atol=1e-12)
+
+    def test_recompose_axis_inverse(self):
+        rng = np.random.default_rng(9)
+        u = rng.normal(size=(4, 10))
+        fwd = transform.decompose_axis(u, 1)
+        back = transform.recompose_axis(fwd, 1, 10)
+        np.testing.assert_allclose(back, u, atol=1e-12)
+
+    def test_axis0(self):
+        rng = np.random.default_rng(10)
+        u = rng.normal(size=(11, 3))
+        fwd = transform.decompose_axis(u, 0)
+        back = transform.recompose_axis(fwd, 0, 11)
+        np.testing.assert_allclose(back, u, atol=1e-12)
