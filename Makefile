@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-assert examples tables figures all clean
+.PHONY: install test bench bench-assert bench-smoke examples tables figures all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,6 +15,11 @@ bench:
 
 bench-assert:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-disable
+
+# Fast EC-kernel regression check: seed vs planned kernels at reduced
+# sizes, byte-identical output verified, BENCH_kernels.json emitted.
+bench-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_kernels.py --smoke
 
 examples:
 	for ex in examples/*.py; do $(PYTHON) $$ex; done

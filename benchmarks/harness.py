@@ -16,9 +16,12 @@ All of it is computed once per session and cached.
 
 from __future__ import annotations
 
+import json
+import platform
 import time
 from dataclasses import dataclass
 from functools import lru_cache
+from pathlib import Path
 
 import numpy as np
 
@@ -163,6 +166,28 @@ def scaling_model() -> ClusterScalingModel:
 def local_scaling_model() -> ClusterScalingModel:
     """Scaling model built from genuinely measured local rates."""
     return ClusterScalingModel(measured_rates())
+
+
+def write_bench_artifact(
+    name: str, payload: dict, outdir: str | Path | None = None
+) -> Path:
+    """Write a machine-readable bench result as ``BENCH_<name>.json``.
+
+    The artifact lands in the repo root by default (next to the human
+    reports), tagged with enough environment context to compare runs;
+    CI uploads it so kernel regressions are diffable across commits.
+    """
+    out = Path(outdir) if outdir is not None else Path(__file__).resolve().parent.parent
+    payload = {
+        "bench": name,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        **payload,
+    }
+    path = out / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:

@@ -18,8 +18,9 @@ from pathlib import Path
 import numpy as np
 
 from ..ec import ECConfig, ErasureCodec
-from ..formats import write_fragment_file
+from ..formats import crc32, write_fragment_file
 from ..metadata import FragmentRecord, MetadataCatalog, ObjectRecord
+from ..parallel.threads import default_workers, thread_map
 from ..refactor import Refactorer
 from ..storage import StorageCluster
 from ..transfer import phase_latency, refactored_distribution
@@ -87,6 +88,11 @@ class RAPIDS:
         Storage-overhead budget for the FT optimiser (Eq. 6).
     p:
         Per-system outage probability (0.01 per the OLCF report).
+    ec_workers:
+        Thread fan-out for erasure encode/decode across levels (and,
+        through the codec, across fragment chunks).  ``None`` (the
+        default) uses the machine's CPU count — the parallel path is the
+        default; pass 1 to force the inline serial path.
     """
 
     def __init__(
@@ -97,12 +103,14 @@ class RAPIDS:
         refactorer: Refactorer | None = None,
         omega: float = 0.25,
         p: float = 0.01,
+        ec_workers: int | None = None,
     ) -> None:
         self.cluster = cluster
         self.catalog = catalog
         self.refactorer = refactorer or Refactorer(4)
         self.omega = omega
         self.p = p
+        self.ec_workers = ec_workers if ec_workers is not None else default_workers()
         self.codec = ErasureCodec(cluster.n)
 
     # -- preparation phase -------------------------------------------------
@@ -143,10 +151,7 @@ class RAPIDS:
         timings["ft_optimize"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        encoded = [
-            self.codec.encode_level(payload, m, level_index=j)
-            for j, (payload, m) in enumerate(zip(obj.payloads, sol.ms))
-        ]
+        encoded = self._encode_levels(obj.payloads, sol.ms)
         timings["ec_encode"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
@@ -156,18 +161,17 @@ class RAPIDS:
 
         t0 = time.perf_counter()
         self._register(name, obj, sol)
-        from ..formats import crc32
-
         for j, enc in enumerate(encoded):
+            # Serialise each fragment exactly once; placement, checksum,
+            # and (above) fragment files all share the same blobs.
+            blobs = enc.fragment_blobs()
             if distribute:
-                self.cluster.place_level(
-                    name, j, [f.tobytes() for f in enc.fragments]
-                )
-            for idx, frag in enumerate(enc.fragments):
+                self.cluster.place_level(name, j, blobs)
+            for idx, blob in enumerate(blobs):
                 self.catalog.put_fragment(
                     FragmentRecord(
-                        name, j, idx, idx, int(frag.nbytes),
-                        checksum=crc32(frag.tobytes()),
+                        name, j, idx, idx, len(blob),
+                        checksum=crc32(blob),
                     )
                 )
         timings["metadata"] = time.perf_counter() - t0
@@ -202,6 +206,21 @@ class RAPIDS:
             network_bytes=network_bytes,
             timings=timings,
         )
+
+    def _encode_levels(self, payloads, ms) -> list:
+        """Erasure-code every level, fanning levels out over threads.
+
+        The planned GF(256) kernels release the GIL in their gather/XOR
+        inner loops, so a thread pool overlaps the per-level encodes
+        without pickling fragment buffers; ``ec_workers=1`` runs inline.
+        """
+        jobs = list(enumerate(zip(payloads, ms)))
+
+        def _encode(job):
+            j, (payload, m) = job
+            return self.codec.encode_level(payload, m, level_index=j)
+
+        return thread_map(_encode, jobs, workers=min(self.ec_workers, len(jobs)))
 
     def _distribute_via_service(self, name, reqs, service) -> tuple[float, float]:
         """Push one bundled task per destination through a GlobusService,
@@ -254,10 +273,10 @@ class RAPIDS:
         outdir.mkdir(parents=True, exist_ok=True)
         safe = name.replace("/", "_").replace(":", "_")
         for j, enc in enumerate(encoded):
-            for idx, frag in enumerate(enc.fragments):
+            for idx, blob in enumerate(enc.fragment_blobs()):
                 write_fragment_file(
                     outdir / f"{safe}.l{j}.f{idx}.rdc",
-                    frag.tobytes(),
+                    blob,
                     object_name=name,
                     level=j,
                     index=idx,
@@ -352,12 +371,15 @@ class RAPIDS:
         )
 
         t0 = time.perf_counter()
-        payloads = []
-        for col, j in enumerate(sorted(outcome.levels_included)):
+        level_ids = sorted(outcome.levels_included)
+
+        def _decode(j: int) -> bytes:
             cfg = ECConfig(n, rec.ft_config[j])
-            payloads.append(
-                self.codec.decode_level(config=cfg, fragments=gathered[j])
-            )
+            return self.codec.decode_level(config=cfg, fragments=gathered[j])
+
+        payloads = thread_map(
+            _decode, level_ids, workers=min(self.ec_workers, len(level_ids))
+        )
         timings["ec_decode"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from . import gf256, matrix
+from . import gf256, kernels, matrix
 from .reed_solomon import pad_to_fragments, unpad
 
 __all__ = ["CauchyRSCode", "cauchy_matrix"]
@@ -82,7 +82,7 @@ class CauchyRSCode:
         shards = pad_to_fragments(data, self.k)
         if self.m == 0:
             return [shards[i] for i in range(self.k)]
-        parity = matrix.matmul(self._gen[self.k :], shards)
+        parity = kernels.planned_matmul(self._gen[self.k :], shards)
         return [shards[i] for i in range(self.k)] + [
             parity[i] for i in range(self.m)
         ]
@@ -98,13 +98,14 @@ class CauchyRSCode:
         idx = sorted(fragments)[: self.k]
         if any(not 0 <= i < self.n for i in idx):
             raise ValueError(f"fragment indices out of range: {idx}")
-        rows = np.stack(
-            [np.frombuffer(memoryview(fragments[i]), dtype=np.uint8) for i in idx]
-        )
+        rows = [
+            np.frombuffer(memoryview(fragments[i]), dtype=np.uint8) for i in idx
+        ]
         if idx == list(range(self.k)):
-            shards = rows
+            shards = np.stack(rows)
         else:
-            shards = matrix.solve(self._gen[idx], rows)
+            inv = matrix.invert(self._gen[idx])
+            shards = kernels.plan_for(inv).apply(rows)
         return unpad(shards, payload_len=payload_len)
 
     def reconstruct_fragment(
@@ -114,8 +115,13 @@ class CauchyRSCode:
         if not 0 <= target < self.n:
             raise ValueError(f"fragment index out of range: {target}")
         idx = sorted(fragments)[: self.k]
-        rows = np.stack(
-            [np.frombuffer(memoryview(fragments[i]), dtype=np.uint8) for i in idx]
+        rows = [
+            np.frombuffer(memoryview(fragments[i]), dtype=np.uint8) for i in idx
+        ]
+        if target in idx:
+            return rows[idx.index(target)].copy()
+        # Single combined pass: gen[target] @ gen[idx]^-1 over the rows.
+        coeffs = matrix.matmul(
+            self._gen[target : target + 1], matrix.invert(self._gen[idx])
         )
-        shards = matrix.solve(self._gen[idx], rows)
-        return matrix.matmul(self._gen[target : target + 1], shards)[0]
+        return kernels.plan_for(coeffs).apply(rows)[0]

@@ -71,22 +71,47 @@ class EncodedLevel:
     payload_size: int
     level_index: int = 0
     meta: dict = field(default_factory=dict)
+    _blobs: list[bytes] | None = field(default=None, repr=False, compare=False)
 
     @property
     def fragment_nbytes(self) -> int:
         return int(self.fragments[0].nbytes) if self.fragments else 0
 
+    def fragment_blobs(self) -> list[bytes]:
+        """The fragments as ``bytes``, materialised once and shared.
+
+        Placement, checksumming, and fragment-file writes all need the
+        same serialised view; caching it here keeps the pipeline to one
+        ``tobytes`` copy per fragment instead of one per consumer.
+        """
+        if self._blobs is None:
+            self._blobs = [
+                np.ascontiguousarray(f).tobytes() for f in self.fragments
+            ]
+        return self._blobs
+
 
 class ErasureCodec:
-    """Encode/decode refactored levels with per-level FT configurations."""
+    """Encode/decode refactored levels with per-level FT configurations.
 
-    def __init__(self, n: int) -> None:
+    ``workers`` sets the default thread fan-out the planned kernels use
+    across fragment chunks (``None`` or 1 runs inline); per-call
+    overrides are accepted by every method.
+    """
+
+    def __init__(self, n: int, *, workers: int | None = None) -> None:
         if not 2 <= n <= 256:
             raise ValueError(f"n must be in [2, 256], got {n}")
         self.n = n
+        self.workers = workers
 
     def encode_level(
-        self, payload: bytes | np.ndarray, m: int, *, level_index: int = 0
+        self,
+        payload: bytes | np.ndarray,
+        m: int,
+        *,
+        level_index: int = 0,
+        workers: int | None = None,
     ) -> EncodedLevel:
         """Erasure-code one level payload with ``m`` parity fragments."""
         cfg = ECConfig(self.n, m)
@@ -96,7 +121,7 @@ class ErasureCodec:
         )
         return EncodedLevel(
             config=cfg,
-            fragments=code.encode(payload),
+            fragments=code.encode(payload, workers=workers or self.workers),
             payload_size=int(nbytes),
             level_index=level_index,
         )
@@ -105,6 +130,7 @@ class ErasureCodec:
         self, encoded: EncodedLevel | None = None, *,
         config: ECConfig | None = None,
         fragments: dict[int, np.ndarray] | None = None,
+        workers: int | None = None,
     ) -> bytes:
         """Decode a level from an :class:`EncodedLevel` or a raw fragment map.
 
@@ -118,11 +144,18 @@ class ErasureCodec:
         if config is None or fragments is None:
             raise ValueError("provide either an EncodedLevel or (config, fragments)")
         code = _code(config.k, config.m)
-        return code.decode(fragments)
+        return code.decode(fragments, workers=workers or self.workers)
 
     def repair_fragment(
-        self, config: ECConfig, fragments: dict[int, np.ndarray], target: int
+        self,
+        config: ECConfig,
+        fragments: dict[int, np.ndarray],
+        target: int,
+        *,
+        workers: int | None = None,
     ) -> np.ndarray:
         """Rebuild a lost fragment for re-placement on a new storage system."""
         code = _code(config.k, config.m)
-        return code.reconstruct_fragment(fragments, target)
+        return code.reconstruct_fragment(
+            fragments, target, workers=workers or self.workers
+        )

@@ -15,6 +15,8 @@ polynomial and evaluation points.
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 __all__ = [
@@ -28,6 +30,7 @@ __all__ = [
     "inv",
     "pow_",
     "mul_table_row",
+    "pair_mul_table",
     "EXP_TABLE",
     "LOG_TABLE",
 ]
@@ -155,3 +158,23 @@ def full_mul_table() -> np.ndarray:
         xs = np.arange(256, dtype=np.uint8)
         _FULL_TABLE = mul(xs[:, None], xs[None, :])
     return _FULL_TABLE
+
+
+@functools.lru_cache(maxsize=256)
+def pair_mul_table(c: int) -> np.ndarray:
+    """The 65536-entry table multiplying *byte pairs* by constant ``c``.
+
+    Entry ``v`` holds ``mul(c, lo) | mul(c, hi) << 8`` for
+    ``v = lo | hi << 8``, so gathering with a ``uint16`` view of a byte
+    buffer multiplies two bytes per lookup.  Because GF multiplication is
+    applied byte-wise on both sides, the result is endianness-agnostic:
+    whichever byte the host packs into the low half comes back out in
+    the low half.  Each table is 128 KiB; the cache is bounded at the
+    256 possible constants (~32 MiB worst case, far less in practice
+    since generator matrices reuse few distinct coefficients).
+    """
+    if not 0 <= c < 256:
+        raise ValueError(f"field element out of range: {c}")
+    row = full_mul_table()[c].astype(np.uint16)
+    # [hi, lo] -> row[lo] | row[hi] << 8, flattened so index = hi*256 + lo.
+    return (row[None, :] | (row[:, None] << 8)).reshape(-1)

@@ -32,6 +32,11 @@ def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     fragment-encoding case ``c`` is the fragment length (large), so the
     loop is arranged over the small ``k`` dimension with fully vectorised
     row operations.
+
+    This is the *reference* kernel: simple, allocation-heavy, and kept
+    unchanged as the ground truth the planned/chunked kernels in
+    :mod:`repro.ec.kernels` are benchmarked and equivalence-tested
+    against.  Hot paths should use :func:`repro.ec.kernels.planned_matmul`.
     """
     a = np.asarray(a, dtype=np.uint8)
     b = np.asarray(b, dtype=np.uint8)
@@ -64,14 +69,20 @@ def vandermonde(rows: int, cols: int) -> np.ndarray:
     Any ``cols`` rows taken from the first 256 rows are linearly
     independent provided the evaluation points are distinct, which makes
     this the classical starting point for an MDS generator matrix.
+
+    Built as one log/exp-table expression over a 2-D index grid:
+    ``i**j = exp[(log[i] * j) mod 255]`` for ``i > 0``, with row 0 fixed
+    up to ``0**0 = 1, 0**j = 0`` afterwards.
     """
     if rows > 256:
         raise ValueError("at most 256 distinct evaluation points in GF(256)")
-    out = np.zeros((rows, cols), dtype=np.uint8)
-    for i in range(rows):
-        for j in range(cols):
-            out[i, j] = gf256.pow_(np.uint8(i), j)
-    return out
+    logs = gf256.LOG_TABLE[np.arange(rows)].astype(np.int64)
+    exponents = (logs[:, None] * np.arange(cols)[None, :]) % 255
+    out = gf256.EXP_TABLE[exponents]
+    if rows and cols:
+        out[0, :] = 0
+        out[0, 0] = 1
+    return np.ascontiguousarray(out, dtype=np.uint8)
 
 
 def invert(m: np.ndarray) -> np.ndarray:

@@ -15,15 +15,22 @@ so the common no-failure read path needs no decode at all).
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 
 import numpy as np
 
-from . import gf256, matrix
+from . import gf256, kernels, matrix
 
 __all__ = ["RSCode", "pad_to_fragments", "unpad"]
 
 _MAX_TOTAL = 256
+
+#: Per-code bound on cached decode/reconstruct plans.  Each entry is a
+#: pointer to an interned :class:`~repro.ec.kernels.EncodePlan`; the cap
+#: only guards pathological callers cycling through many erasure
+#: patterns of a wide code.
+_PLAN_CACHE_LIMIT = 512
 
 
 def _systematic_generator(k: int, n: int) -> np.ndarray:
@@ -67,6 +74,14 @@ class RSCode:
                 f"k + m = {self.k + self.m} exceeds GF(256) limit of {_MAX_TOTAL}"
             )
         object.__setattr__(self, "_gen", _systematic_generator(self.k, self.n))
+        # Planned encode kernel over the parity rows (the identity block
+        # needs no arithmetic) plus per-erasure-pattern decode plans.
+        object.__setattr__(
+            self,
+            "_parity_plan",
+            kernels.plan_for(self._gen[self.k :]) if self.m else None,
+        )
+        object.__setattr__(self, "_decode_plans", {})
 
     @property
     def n(self) -> int:
@@ -82,32 +97,45 @@ class RSCode:
 
     # -- encoding -----------------------------------------------------
 
-    def encode(self, data: bytes | np.ndarray) -> list[np.ndarray]:
+    def encode(
+        self, data: bytes | np.ndarray, *, workers: int | None = None
+    ) -> list[np.ndarray]:
         """Encode a payload into ``n`` fragments.
 
         The payload is padded to a multiple of ``k`` (see
         :func:`pad_to_fragments`); each returned fragment is a uint8 array
         of identical length ``ceil((len(data)+8)/k)`` rounded for padding.
         Fragment ``i`` for ``i < k`` is a verbatim slice of the padded
-        payload; fragments ``k..n-1`` are parity.
+        payload; fragments ``k..n-1`` are parity.  ``workers`` > 1
+        parallelises the parity kernel across fragment chunks.
         """
         shards = pad_to_fragments(data, self.k)
         if self.m == 0:
             return [shards[i] for i in range(self.k)]
-        parity = matrix.matmul(self._gen[self.k :], shards)
+        parity = self._parity_plan.apply(shards, workers=workers)
         return [shards[i] for i in range(self.k)] + [parity[i] for i in range(self.m)]
 
-    def encode_shards(self, shards: np.ndarray) -> np.ndarray:
+    def encode_shards(
+        self, shards: np.ndarray, *, workers: int | None = None
+    ) -> np.ndarray:
         """Encode pre-split data: ``shards`` is (k, L) uint8, returns (n, L)."""
         shards = np.asarray(shards, dtype=np.uint8)
         if shards.shape[0] != self.k:
             raise ValueError(f"expected {self.k} data shards, got {shards.shape[0]}")
-        return matrix.matmul(self._gen, shards)
+        out = np.empty((self.n, shards.shape[1]), dtype=np.uint8)
+        out[: self.k] = shards
+        if self.m:
+            self._parity_plan.apply(shards, out=out[self.k :], workers=workers)
+        return out
 
     # -- decoding -----------------------------------------------------
 
     def decode(
-        self, fragments: dict[int, np.ndarray], *, payload_len: int | None = None
+        self,
+        fragments: dict[int, np.ndarray],
+        *,
+        payload_len: int | None = None,
+        workers: int | None = None,
     ) -> bytes:
         """Recover the original payload from any ``k`` fragments.
 
@@ -118,12 +146,16 @@ class RSCode:
             to the fragment bytes.  At least ``k`` entries are required.
         payload_len:
             If given, overrides the length header (for raw shard decode).
+        workers:
+            Optional thread fan-out across fragment chunks.
         """
-        shards = self.decode_shards(fragments)
+        shards = self.decode_shards(fragments, workers=workers)
         return unpad(shards, payload_len=payload_len)
 
-    def decode_shards(self, fragments: dict[int, np.ndarray]) -> np.ndarray:
-        """Recover the (k, L) data-shard matrix from any k fragments."""
+    def _gather_rows(
+        self, fragments: dict[int, np.ndarray]
+    ) -> tuple[list[int], list[np.ndarray]]:
+        """Select the k lowest-index fragments as validated byte rows."""
         if len(fragments) < self.k:
             raise ValueError(
                 f"need at least {self.k} fragments to decode, got {len(fragments)}"
@@ -132,23 +164,74 @@ class RSCode:
         bad = [i for i in idx if not 0 <= i < self.n]
         if bad:
             raise ValueError(f"fragment indices out of range: {bad}")
-        rows = np.stack(
-            [np.frombuffer(memoryview(fragments[i]), dtype=np.uint8) for i in idx]
-        )
+        rows = [
+            np.frombuffer(memoryview(fragments[i]), dtype=np.uint8) for i in idx
+        ]
+        lengths = [r.size for r in rows]
+        if len(set(lengths)) > 1:
+            # Name the offenders rather than letting shape errors surface
+            # from deep inside the kernel: the expected length is the one
+            # the majority of fragments agree on.
+            expected, _ = Counter(lengths).most_common(1)[0]
+            offending = [
+                (i, n) for i, n in zip(idx, lengths) if n != expected
+            ]
+            raise ValueError(
+                "fragments have unequal lengths: expected "
+                f"{expected} bytes but "
+                + ", ".join(f"fragment {i} has {n}" for i, n in offending)
+            )
+        return idx, rows
+
+    def _decode_plan(self, idx: tuple[int, ...]) -> kernels.EncodePlan:
+        """Cached planned kernel for the inverted ``gen[idx]`` submatrix."""
+        plan = self._decode_plans.get(idx)
+        if plan is None:
+            inv = matrix.invert(self._gen[list(idx)])
+            plan = kernels.plan_for(inv)
+            if len(self._decode_plans) >= _PLAN_CACHE_LIMIT:
+                self._decode_plans.clear()
+            self._decode_plans[idx] = plan
+        return plan
+
+    def decode_shards(
+        self, fragments: dict[int, np.ndarray], *, workers: int | None = None
+    ) -> np.ndarray:
+        """Recover the (k, L) data-shard matrix from any k fragments."""
+        idx, rows = self._gather_rows(fragments)
         # Fast path: all k data fragments present, no algebra needed.
         if idx == list(range(self.k)):
-            return rows
-        sub = self._gen[idx]  # (k, k), invertible by the MDS property
-        return matrix.solve(sub, rows)
+            return np.stack(rows)
+        return self._decode_plan(tuple(idx)).apply(rows, workers=workers)
 
     def reconstruct_fragment(
-        self, fragments: dict[int, np.ndarray], target: int
+        self,
+        fragments: dict[int, np.ndarray],
+        target: int,
+        *,
+        workers: int | None = None,
     ) -> np.ndarray:
-        """Rebuild a single lost fragment (data or parity) from any k others."""
+        """Rebuild a single lost fragment (data or parity) from any k others.
+
+        Uses a cached single-row plan for ``gen[target] @ gen[idx]^-1``,
+        so repair applies one combined pass over the survivors instead of
+        a full decode followed by a re-encode.
+        """
         if not 0 <= target < self.n:
             raise ValueError(f"fragment index out of range: {target}")
-        shards = self.decode_shards(fragments)
-        return matrix.matmul(self._gen[target : target + 1], shards)[0]
+        idx, rows = self._gather_rows(fragments)
+        if target in idx:
+            return rows[idx.index(target)].copy()
+        key = (tuple(idx), target)
+        plan = self._decode_plans.get(key)
+        if plan is None:
+            inv = matrix.invert(self._gen[list(idx)])
+            coeffs = matrix.matmul(self._gen[target : target + 1], inv)
+            plan = kernels.plan_for(coeffs)
+            if len(self._decode_plans) >= _PLAN_CACHE_LIMIT:
+                self._decode_plans.clear()
+            self._decode_plans[key] = plan
+        return plan.apply(rows, workers=workers)[0]
 
 
 def pad_to_fragments(data: bytes | np.ndarray, k: int) -> np.ndarray:

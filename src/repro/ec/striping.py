@@ -40,6 +40,8 @@ class StripedEncoding:
 
 
 def _encode_stripe(args) -> list[bytes]:
+    # Process-pool worker: results cross the pipe as bytes.  Each worker
+    # process builds (and then reuses, via the plan cache) its own code.
     k, m, chunk = args
     return [f.tobytes() for f in RSCode(k, m).encode(chunk)]
 
@@ -80,21 +82,35 @@ class StripedCode:
         ]
 
     def encode(
-        self, payload: bytes, *, processes: int = 1
+        self, payload: bytes, *, processes: int = 1, use_threads: bool = True
     ) -> StripedEncoding:
-        """Encode a payload; stripes run in parallel when processes > 1."""
+        """Encode a payload; stripes run in parallel when ``processes > 1``.
+
+        With ``use_threads`` (the default) the stripe fan-out runs on a
+        thread pool: the planned GF(256) kernels release the GIL, the
+        shared :class:`RSCode` (and its cached encode plan) is reused by
+        every stripe, and fragments stay NumPy arrays end to end — no
+        pickling, no ``tobytes`` round-trips.  ``use_threads=False``
+        keeps the original process-pool path for workloads that want
+        full interpreter isolation.
+        """
         stripes = self._stripes(payload)
-        jobs = [(self.k, self.m, s) for s in stripes]
-        if processes > 1 and len(stripes) > 1:
+        if processes > 1 and len(stripes) > 1 and not use_threads:
+            jobs = [(self.k, self.m, s) for s in stripes]
             with ProcessPoolExecutor(max_workers=processes) as pool:
-                per_stripe = list(pool.map(_encode_stripe, jobs))
+                per_stripe = [
+                    [np.frombuffer(b, dtype=np.uint8) for b in frags]
+                    for frags in pool.map(_encode_stripe, jobs)
+                ]
         else:
-            per_stripe = [_encode_stripe(j) for j in jobs]
-        sizes = [len(frags[0]) for frags in per_stripe]
-        fragments = [
-            np.frombuffer(
-                b"".join(frags[i] for frags in per_stripe), dtype=np.uint8
+            from ..parallel.threads import thread_map
+
+            per_stripe = thread_map(
+                self.code.encode, stripes, workers=processes
             )
+        sizes = [int(frags[0].size) for frags in per_stripe]
+        fragments = [
+            np.concatenate([frags[i] for frags in per_stripe])
             for i in range(self.n)
         ]
         return StripedEncoding(
@@ -106,28 +122,42 @@ class StripedCode:
         )
 
     def decode(
-        self, enc_info: StripedEncoding, fragments: dict[int, np.ndarray]
+        self,
+        enc_info: StripedEncoding,
+        fragments: dict[int, np.ndarray],
+        *,
+        workers: int = 1,
     ) -> bytes:
-        """Recover the payload from any k (striped) fragments."""
+        """Recover the payload from any k (striped) fragments.
+
+        ``workers`` > 1 decodes independent stripes on a thread pool.
+        """
         if len(fragments) < self.k:
             raise ValueError(
                 f"need at least {self.k} fragments, got {len(fragments)}"
             )
-        out = bytearray()
         offsets = np.concatenate(
             [[0], np.cumsum(enc_info.stripe_fragment_sizes)]
         )
-        for s in range(enc_info.num_stripes):
-            lo, hi = int(offsets[s]), int(offsets[s + 1])
-            stripe_frags = {
-                i: np.asarray(frag)[lo:hi] for i, frag in fragments.items()
-            }
-            out += self.code.decode(stripe_frags)
+        spans = [
+            (int(offsets[s]), int(offsets[s + 1]))
+            for s in range(enc_info.num_stripes)
+        ]
+
+        def _decode_span(span: tuple[int, int]) -> bytes:
+            lo, hi = span
+            return self.code.decode(
+                {i: np.asarray(frag)[lo:hi] for i, frag in fragments.items()}
+            )
+
+        from ..parallel.threads import thread_map
+
+        out = b"".join(thread_map(_decode_span, spans, workers=workers))
         if len(out) != enc_info.payload_len:
             raise ValueError(
                 f"reassembled {len(out)} bytes, expected {enc_info.payload_len}"
             )
-        return bytes(out)
+        return out
 
     def repair_fragment(
         self,

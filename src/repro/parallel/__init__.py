@@ -9,6 +9,7 @@ from .streaming import (
     stream_reconstruct_region,
     stream_refactor,
 )
+from .threads import default_workers, thread_map
 from .tiles import TileGrid, tile_reconstruct, tile_reconstruct_roi, tile_refactor
 from .scaling import (
     ALPINE_FS,
@@ -21,6 +22,8 @@ from .scaling import (
 __all__ = [
     "ParallelRefactorer",
     "ParallelResult",
+    "thread_map",
+    "default_workers",
     "split_blocks",
     "join_blocks",
     "block_shape_for",

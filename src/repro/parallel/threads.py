@@ -1,0 +1,51 @@
+"""Threads-first parallel mapping for GIL-releasing NumPy kernels.
+
+The erasure-coding kernels (and most large-array NumPy ufuncs) release
+the GIL inside their inner loops, so a thread pool parallelises them
+without the pickling and process-startup costs of
+:class:`~concurrent.futures.ProcessPoolExecutor`.  This module is the
+shared "threads-first" strategy used by the EC kernel layer, the striped
+codec, and the pipeline's per-level encode/decode fan-out.
+
+``thread_map`` runs inline (no pool at all) when a single worker is
+requested or there is at most one item — the ``processes=1`` fast path
+of :mod:`repro.parallel.executor`, applied to threads — so tiny inputs
+and tests never pay pool overhead.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["thread_map", "default_workers"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers() -> int:
+    """Worker count used when callers pass ``workers=None``."""
+    return os.cpu_count() or 1
+
+
+def thread_map(
+    fn: Callable[[T], R],
+    items: Iterable[T] | Sequence[T],
+    *,
+    workers: int | None = None,
+) -> list[R]:
+    """Map ``fn`` over ``items`` on a thread pool, preserving order.
+
+    ``workers=None`` uses :func:`default_workers`; ``workers <= 1`` or a
+    single item runs inline with no pool.  Exceptions propagate to the
+    caller exactly as in the serial case.
+    """
+    items = list(items)
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        return list(pool.map(fn, items))
