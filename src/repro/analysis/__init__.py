@@ -1,0 +1,103 @@
+"""``repro.analysis`` — rapidslint static analysis + thread sanitizer.
+
+Two complementary halves:
+
+* :mod:`repro.analysis.framework` / :mod:`repro.analysis.rules` — an
+  AST-based analyzer with ~10 project-specific rules (GF(256) operator
+  misuse, EC dtype hygiene, thread_map shared-state writes, solver
+  nondeterminism, …), per-line suppression comments that *require* a
+  justification, and the ``rapids lint`` CLI entry point.
+* :mod:`repro.analysis.sanitizer` — a runtime shadow-tracker that
+  instruments pooled :func:`repro.parallel.threads.thread_map` calls
+  (``RAPIDS_THREAD_SANITIZER=1``) and fails tests when a worker
+  callable writes shared state without a lock.
+"""
+
+from __future__ import annotations
+
+from . import rules as _rules  # noqa: F401 — importing registers the rules
+from .framework import (
+    META_RULE_ID,
+    Analyzer,
+    Finding,
+    ModuleContext,
+    Rule,
+    Severity,
+    all_rules,
+    get_rule,
+    iter_python_files,
+    register,
+)
+from .sanitizer import (
+    SANITIZER_ENV,
+    MutationEvent,
+    SharedStateTracker,
+    ThreadSanitizerError,
+    sanitizer_mode,
+)
+
+__all__ = [
+    "META_RULE_ID",
+    "Analyzer",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "register",
+    "SANITIZER_ENV",
+    "MutationEvent",
+    "SharedStateTracker",
+    "ThreadSanitizerError",
+    "sanitizer_mode",
+    "run_lint",
+]
+
+
+def run_lint(
+    paths,
+    *,
+    select=None,
+    output=print,
+    fmt: str = "text",
+) -> int:
+    """Lint ``paths`` and report findings; returns a process exit code.
+
+    ``0`` when the tree is clean, ``1`` when any non-suppressed finding
+    remains (regardless of severity — the CI gate fails on warnings
+    too), ``2`` on usage errors.
+    """
+    analyzer = Analyzer(select=select)
+    findings = analyzer.check_paths(paths)
+    if fmt == "json":
+        import json
+
+        output(
+            json.dumps(
+                [
+                    {
+                        "rule": f.rule_id,
+                        "severity": str(f.severity),
+                        "path": f.path,
+                        "line": f.line,
+                        "col": f.col,
+                        "message": f.message,
+                    }
+                    for f in findings
+                ],
+                indent=2,
+            )
+        )
+    else:
+        for f in findings:
+            output(f.render())
+    if findings:
+        worst = max(f.severity for f in findings)
+        output(
+            f"rapidslint: {len(findings)} finding(s), worst severity "
+            f"{worst} ({len(analyzer.rules)} rules active)"
+        )
+        return 1
+    return 0

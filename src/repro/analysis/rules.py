@@ -1,0 +1,819 @@
+"""The rapidslint rule set — project-specific checks for this codebase.
+
+Every rule exists because this repository has a class of bug that is
+*silent* when it happens: GF(256) arithmetic done with integer operators
+produces plausible-looking wrong fragments; dtype upcasts on the EC path
+change bytes without an exception; a ``thread_map`` callable that
+mutates shared state corrupts results only under load.  The rules:
+
+========  =======================  ========================================
+id        name                     catches
+========  =======================  ========================================
+RPD101    gf256-raw-arith          ``*``/``**``/``+``/``-`` applied to
+                                   values produced by :mod:`repro.ec.gf256`
+RPD102    ec-astype-copy           ``.astype`` on an EC path without an
+                                   explicit ``copy=`` intent
+RPD103    threadmap-shared-state   worker callables mutating closure /
+                                   global / ``self`` state without a lock
+RPD104    solver-nondeterminism    ``time.time`` / unseeded or legacy RNG
+                                   inside solver & optimizer modules
+RPD105    broad-except             bare ``except`` or ``except Exception``
+                                   that swallows instead of re-raising
+RPD106    all-drift                ``__all__`` out of sync with public defs
+RPD107    mutable-default          mutable default argument values
+RPD108    open-no-ctx              ``open()`` outside a ``with`` block
+RPD109    ec-implicit-dtype        EC buffers created without ``dtype=``
+RPD110    unlocked-global-cache    ``global`` cache assignment without a
+                                   lock (racy under ``thread_map``)
+========  =======================  ========================================
+
+(``RPD100`` is reserved by the framework for malformed / unused
+suppression comments.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import Finding, ModuleContext, Rule, Severity, register
+
+__all__ = [
+    "GFRawArithRule",
+    "ECAstypeCopyRule",
+    "ThreadMapSharedStateRule",
+    "SolverNondeterminismRule",
+    "BroadExceptRule",
+    "AllDriftRule",
+    "MutableDefaultRule",
+    "OpenNoContextRule",
+    "ECImplicitDtypeRule",
+    "UnlockedGlobalCacheRule",
+]
+
+#: Public callables of :mod:`repro.ec.gf256` that return field elements.
+_GF_API = {
+    "add", "sub", "mul", "div", "inv", "pow_",
+    "mul_table_row", "full_mul_table", "pair_mul_table",
+}
+
+_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _root_name(node: ast.AST) -> str | None:
+    """The base ``Name`` id of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _attr_chain(node: ast.AST) -> str:
+    """Render ``a.b.c`` chains; empty string for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _is_lock_name(text: str) -> bool:
+    low = text.lower()
+    return "lock" in low or "mutex" in low or "sem" in low
+
+
+def _walk_scope(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope's nodes without descending into nested function
+    scopes (class bodies are transparent; methods are not)."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, _SCOPES):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class GFRawArithRule(Rule):
+    """Integer arithmetic on GF(256) values.
+
+    ``a * b`` on arrays holding field elements is the canonical silent
+    EC bug: NumPy happily multiplies the byte values as integers and the
+    parity fragments come out wrong with no exception.  Any value
+    produced by the :mod:`repro.ec.gf256` API must be combined with
+    ``gf256.mul`` / ``gf256.add`` (XOR), never with ``*``, ``**``, ``+``
+    or ``-``.
+    """
+
+    rule_id = "RPD101"
+    name = "gf256-raw-arith"
+    severity = Severity.ERROR
+    description = "raw */**/+/- applied to GF(256) field elements"
+    rationale = (
+        "integer arithmetic on field elements silently corrupts fragments"
+    )
+
+    _OPS = {ast.Mult: "*", ast.Pow: "**", ast.Add: "+", ast.Sub: "-"}
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        mod_aliases, fn_aliases = self._gf_imports(module.tree)
+        if not mod_aliases and not fn_aliases:
+            return
+        scopes: list[ast.AST] = [module.tree]
+        scopes += [n for n in ast.walk(module.tree) if isinstance(n, _SCOPES[:2])]
+        for scope in scopes:
+            tainted = self._tainted_names(scope, mod_aliases, fn_aliases)
+            if not tainted:
+                continue
+            for node in _walk_scope(scope):
+                if not isinstance(node, ast.BinOp):
+                    continue
+                op = self._OPS.get(type(node.op))
+                if op is None:
+                    continue
+                for side in (node.left, node.right):
+                    name = _root_name(side)
+                    if name in tainted or self._is_gf_call(
+                        side, mod_aliases, fn_aliases
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"raw '{op}' on GF(256) value "
+                            f"{name or 'expression'!r} — use gf256.mul/"
+                            "add (XOR) instead of integer arithmetic",
+                        )
+                        break
+
+    @staticmethod
+    def _gf_imports(tree: ast.Module) -> tuple[set[str], set[str]]:
+        """Names bound to the gf256 module / to its field functions."""
+        mods: set[str] = set()
+        fns: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for a in node.names:
+                    if a.name.endswith("gf256"):
+                        mods.add(a.asname or a.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                mod = node.module or ""
+                for a in node.names:
+                    if a.name == "gf256":
+                        mods.add(a.asname or "gf256")
+                    elif mod.endswith("gf256") and a.name in _GF_API:
+                        fns.add(a.asname or a.name)
+        return mods, fns
+
+    @staticmethod
+    def _is_gf_call(node: ast.AST, mods: set[str], fns: set[str]) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        f = node.func
+        if isinstance(f, ast.Name) and f.id in fns:
+            return True
+        if (
+            isinstance(f, ast.Attribute)
+            and f.attr in _GF_API
+            and isinstance(f.value, ast.Name)
+            and f.value.id in mods
+        ):
+            return True
+        return False
+
+    def _tainted_names(
+        self, scope: ast.AST, mods: set[str], fns: set[str]
+    ) -> set[str]:
+        """Names assigned (anywhere in the scope) from gf256 API calls,
+        propagated one hop through subscripts of tainted names."""
+        tainted: set[str] = set()
+        assigns = [
+            n
+            for n in _walk_scope(scope)
+            if isinstance(n, ast.Assign)
+            and len(n.targets) == 1
+            and isinstance(n.targets[0], ast.Name)
+        ]
+        for _ in range(2):  # two passes to catch simple chains
+            for node in assigns:
+                value, target = node.value, node.targets[0].id
+                if self._is_gf_call(value, mods, fns):
+                    tainted.add(target)
+                elif (
+                    isinstance(value, (ast.Subscript, ast.Name))
+                    and _root_name(value) in tainted
+                ):
+                    tainted.add(target)
+        return tainted
+
+
+@register
+class ECAstypeCopyRule(Rule):
+    """``.astype`` without explicit ``copy=`` on EC modules.
+
+    On the EC path an ``astype`` is either a deliberate widening for an
+    intermediate (``copy=True`` is the safe default but costs an
+    allocation on a hot path) or a free view-cast (``copy=False``).
+    Forcing the keyword makes the overflow/aliasing intent visible at
+    the call site.
+    """
+
+    rule_id = "RPD102"
+    name = "ec-astype-copy"
+    severity = Severity.WARNING
+    description = ".astype without explicit copy= on an EC path"
+    rationale = "implicit copies hide aliasing and overflow intent"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.in_package("/ec/"):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+                and not any(k.arg == "copy" for k in node.keywords)
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    ".astype(...) on an EC path without copy= — state the "
+                    "copy/overflow intent explicitly",
+                )
+
+
+@register
+class ThreadMapSharedStateRule(Rule):
+    """Worker callables that write shared state without a lock.
+
+    A callable handed to ``thread_map`` / ``pool.map`` / ``pool.submit``
+    runs concurrently; any write it makes to a closure variable, a
+    module global, or ``self`` is a data race unless it happens under a
+    lock (or the writes are provably disjoint — in which case suppress
+    with a justification, and pass ``allow_shared_writes`` to the
+    runtime sanitizer).
+    """
+
+    rule_id = "RPD103"
+    name = "threadmap-shared-state"
+    severity = Severity.ERROR
+    description = "thread_map callable mutates shared state without a lock"
+    rationale = "unsynchronized writes corrupt results only under load"
+
+    _MUTATORS = {
+        "append", "extend", "insert", "add", "update", "setdefault",
+        "pop", "popitem", "remove", "discard", "clear", "write",
+    }
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(module.tree):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        reported: set[ast.AST] = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn_arg = self._worker_callable(node)
+            if fn_arg is None:
+                continue
+            target = self._resolve(fn_arg, node, parents)
+            if target is None or target in reported:
+                continue
+            reported.add(target)
+            yield from self._scan_callable(module, target)
+
+    @staticmethod
+    def _worker_callable(call: ast.Call) -> ast.AST | None:
+        f = call.func
+        if isinstance(f, ast.Name) and f.id == "thread_map" and call.args:
+            return call.args[0]
+        if (
+            isinstance(f, ast.Attribute)
+            and f.attr in {"map", "submit"}
+            and call.args
+        ):
+            root = _root_name(f.value) or ""
+            if any(s in root.lower() for s in ("pool", "executor", "ex")):
+                return call.args[0]
+        return None
+
+    @staticmethod
+    def _resolve(
+        node: ast.AST, call: ast.Call, parents: dict
+    ) -> ast.AST | None:
+        """Find the def a worker-callable reference points at, searching
+        the call's enclosing scopes innermost-first so same-named defs in
+        other scopes don't shadow the real one."""
+        if isinstance(node, ast.Lambda):
+            return node
+        if isinstance(node, ast.Name):
+            wanted = node.id
+        elif isinstance(node, ast.Attribute):
+            wanted = node.attr
+        else:
+            return None
+        scope: ast.AST | None = call
+        while scope is not None:
+            scope = parents.get(scope)
+            if scope is None or not isinstance(
+                scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module,
+                        ast.ClassDef)
+            ):
+                continue
+            for n in _walk_scope(scope):
+                if (
+                    isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and n.name == wanted
+                ):
+                    return n
+            if isinstance(scope, ast.Module):
+                break
+        # methods referenced as attributes (self.work / obj.work) may
+        # live in any class of the module
+        for n in parents:
+            if (
+                isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and n.name == wanted
+                and isinstance(parents.get(n), ast.ClassDef)
+            ):
+                return n
+        return None
+
+    def _scan_callable(
+        self, module: ModuleContext, fn: ast.AST
+    ) -> Iterator[Finding]:
+        if isinstance(fn, ast.Lambda):
+            return  # lambdas cannot contain statements, nothing to mutate
+        local = {a.arg for a in fn.args.args}
+        local |= {a.arg for a in fn.args.posonlyargs}
+        local |= {a.arg for a in fn.args.kwonlyargs}
+        if fn.args.vararg:
+            local.add(fn.args.vararg.arg)
+        if fn.args.kwarg:
+            local.add(fn.args.kwarg.arg)
+        declared: set[str] = set()
+        for n in ast.walk(fn):
+            if isinstance(n, (ast.Global, ast.Nonlocal)):
+                declared.update(n.names)
+            elif isinstance(n, ast.Assign):
+                for t in n.targets:
+                    if isinstance(t, ast.Name):
+                        local.add(t.id)
+            elif isinstance(n, (ast.For, ast.comprehension)):
+                t = n.target
+                if isinstance(t, ast.Name):
+                    local.add(t.id)
+        local -= declared
+        yield from self._scan_body(module, fn.body, fn.name, local, declared,
+                                   locked=False)
+
+    @staticmethod
+    def _holds_lock(stmt: ast.With) -> bool:
+        for item in stmt.items:
+            ctx = item.context_expr
+            chain = _attr_chain(ctx)
+            if not chain and isinstance(ctx, ast.Call):
+                chain = _attr_chain(ctx.func)
+            if chain and _is_lock_name(chain):
+                return True
+        return False
+
+    def _stmt_exprs(self, stmt: ast.stmt) -> Iterator[ast.AST]:
+        """The statement itself plus its expression-level nodes, not
+        descending into nested statement bodies."""
+        yield stmt
+        for field_name, value in ast.iter_fields(stmt):
+            if field_name in ("body", "orelse", "finalbody", "handlers"):
+                continue
+            values = value if isinstance(value, list) else [value]
+            for v in values:
+                if isinstance(v, ast.AST):
+                    yield from ast.walk(v)
+
+    def _scan_body(
+        self, module, stmts, fn_name, local, declared, *, locked
+    ) -> Iterator[Finding]:
+        for stmt in stmts:
+            now_locked = locked or (
+                isinstance(stmt, ast.With) and self._holds_lock(stmt)
+            )
+            for node in self._stmt_exprs(stmt):
+                yield from self._check_node(
+                    module, node, fn_name, local, declared, now_locked
+                )
+            for sub in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, sub, None)
+                if inner:
+                    yield from self._scan_body(
+                        module, inner, fn_name, local, declared,
+                        locked=now_locked,
+                    )
+            for handler in getattr(stmt, "handlers", []) or []:
+                yield from self._scan_body(
+                    module, handler.body, fn_name, local, declared,
+                    locked=now_locked,
+                )
+
+    def _check_node(
+        self, module, node, fn_name, local, declared, locked
+    ) -> Iterator[Finding]:
+        if locked:
+            return
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for t in targets:
+                if isinstance(t, (ast.Subscript, ast.Attribute)):
+                    root = _root_name(t)
+                    if root is not None and (root == "self" or root not in local):
+                        yield self.finding(
+                            module, node,
+                            f"worker callable {fn_name!r} writes shared "
+                            f"state {root!r} without a lock",
+                        )
+                elif isinstance(t, ast.Name) and t.id in declared:
+                    yield self.finding(
+                        module, node,
+                        f"worker callable {fn_name!r} rebinds "
+                        f"{t.id!r} (global/nonlocal) without a lock",
+                    )
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in self._MUTATORS:
+                root = _root_name(node.func.value)
+                if root is not None and (root == "self" or root not in local):
+                    yield self.finding(
+                        module, node,
+                        f"worker callable {fn_name!r} calls "
+                        f".{node.func.attr}() on shared {root!r} "
+                        "without a lock",
+                    )
+
+
+@register
+class SolverNondeterminismRule(Rule):
+    """Nondeterminism inside solver / optimizer modules.
+
+    The gathering and FT solvers must be replayable: a result that
+    cannot be reproduced cannot be debugged or benchmarked.  Wall-clock
+    *budgets* use ``time.perf_counter`` (allowed); ``time.time``,
+    legacy ``np.random.*`` calls, the stdlib ``random`` module, and
+    ``default_rng()`` with no seed argument are flagged.
+    """
+
+    rule_id = "RPD104"
+    name = "solver-nondeterminism"
+    severity = Severity.ERROR
+    description = "time.time / unseeded or legacy RNG in solver code"
+    rationale = "solver results must be replayable for debugging and benches"
+
+    _SCOPED = ("/optimize/", "core/ft_optimizer", "core/gathering")
+    _LEGACY_NP = {
+        "rand", "randn", "randint", "random", "choice", "shuffle",
+        "permutation", "seed", "uniform", "normal", "random_sample",
+    }
+    _STDLIB_RANDOM = {
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "seed", "gauss",
+    }
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.in_package(*self._SCOPED):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain.endswith("default_rng") or chain == "default_rng":
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        module, node,
+                        "default_rng() with no seed — thread the caller's "
+                        "seed through so solver runs are replayable",
+                    )
+            elif chain == "time.time":
+                yield self.finding(
+                    module, node,
+                    "time.time() in solver code — use time.perf_counter() "
+                    "for budgets and keep results seed-deterministic",
+                )
+            elif chain.startswith(("np.random.", "numpy.random.")):
+                attr = chain.rsplit(".", 1)[1]
+                if attr in self._LEGACY_NP:
+                    yield self.finding(
+                        module, node,
+                        f"legacy global-state RNG {chain}() — use a seeded "
+                        "np.random.default_rng(seed) Generator",
+                    )
+            elif chain.split(".", 1)[0] == "random" and "." in chain:
+                if chain.split(".", 1)[1] in self._STDLIB_RANDOM:
+                    yield self.finding(
+                        module, node,
+                        f"stdlib {chain}() in solver code — use a seeded "
+                        "np.random.default_rng(seed) Generator",
+                    )
+
+
+@register
+class BroadExceptRule(Rule):
+    """Bare or overly broad exception handlers that swallow errors.
+
+    On the prepare/restore pipeline a swallowed exception turns a loud
+    failure into silently missing fragments.  ``except Exception`` is
+    allowed only when the handler re-raises.
+    """
+
+    rule_id = "RPD105"
+    name = "broad-except"
+    severity = Severity.WARNING
+    description = "bare except / except Exception without re-raise"
+    rationale = "swallowed errors become silent data loss on pipeline paths"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = node.type is None or any(
+                isinstance(t, ast.Name) and t.id in ("Exception", "BaseException")
+                for t in (
+                    node.type.elts
+                    if isinstance(node.type, ast.Tuple)
+                    else [node.type]
+                )
+                if t is not None
+            )
+            if not broad:
+                continue
+            reraises = any(
+                isinstance(n, ast.Raise) for n in ast.walk(node)
+            )
+            if node.type is None:
+                yield self.finding(
+                    module, node,
+                    "bare 'except:' — name the exceptions you expect",
+                )
+            elif not reraises:
+                yield self.finding(
+                    module, node,
+                    "broad 'except Exception' without re-raise — name the "
+                    "exceptions or re-raise after handling",
+                )
+
+
+@register
+class AllDriftRule(Rule):
+    """``__all__`` drifting away from the module's public definitions.
+
+    Checked both ways: every ``__all__`` entry must resolve to a
+    top-level definition, and every public top-level ``def``/``class``
+    must appear in ``__all__`` (or be renamed ``_private``).
+    """
+
+    rule_id = "RPD106"
+    name = "all-drift"
+    severity = Severity.WARNING
+    description = "__all__ out of sync with public top-level definitions"
+    rationale = "drifting exports break star-imports and API docs"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        tree = module.tree
+        all_node, exported = self._find_all(tree)
+        if all_node is None:
+            return
+        defined, public_defs = set(), {}
+        self._collect(tree.body, defined, public_defs)
+        for name in exported:
+            if name not in defined:
+                yield self.finding(
+                    module, all_node,
+                    f"__all__ exports {name!r} which is not defined at "
+                    "module top level",
+                )
+        for name, node in public_defs.items():
+            if name not in exported:
+                yield self.finding(
+                    module, node,
+                    f"public {type(node).__name__.replace('Def', '').lower()}"
+                    f" {name!r} is missing from __all__",
+                )
+
+    @staticmethod
+    def _find_all(tree: ast.Module):
+        for node in tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "__all__"
+                and isinstance(node.value, (ast.List, ast.Tuple))
+            ):
+                names = [
+                    e.value
+                    for e in node.value.elts
+                    if isinstance(e, ast.Constant) and isinstance(e.value, str)
+                ]
+                return node, set(names)
+        return None, set()
+
+    def _collect(self, stmts, defined: set, public_defs: dict) -> None:
+        for node in stmts:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                defined.add(node.name)
+                if not node.name.startswith("_"):
+                    public_defs.setdefault(node.name, node)
+            elif isinstance(node, ast.Assign):
+                for t in node.targets:
+                    if isinstance(t, ast.Name):
+                        defined.add(t.id)
+                    elif isinstance(t, ast.Tuple):
+                        defined.update(
+                            e.id for e in t.elts if isinstance(e, ast.Name)
+                        )
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    defined.add(node.target.id)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for a in node.names:
+                    defined.add(a.asname or a.name.split(".")[0])
+            elif isinstance(node, (ast.If, ast.Try)):
+                for sub in ("body", "orelse", "finalbody"):
+                    self._collect(getattr(node, sub, []) or [], defined,
+                                  public_defs)
+                for h in getattr(node, "handlers", []) or []:
+                    self._collect(h.body, defined, public_defs)
+
+
+@register
+class MutableDefaultRule(Rule):
+    """Mutable default argument values — shared across every call."""
+
+    rule_id = "RPD107"
+    name = "mutable-default"
+    severity = Severity.ERROR
+    description = "mutable default argument ([], {}, set(), ...)"
+    rationale = "defaults are evaluated once and shared between calls"
+
+    _CTORS = {"list", "dict", "set", "bytearray"}
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            for default in list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]:
+                if isinstance(default, (ast.List, ast.Dict, ast.Set,
+                                        ast.ListComp, ast.DictComp,
+                                        ast.SetComp)) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in self._CTORS
+                ):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        module, default,
+                        f"mutable default argument in {name!r} — use None "
+                        "and create inside the function",
+                    )
+
+
+@register
+class OpenNoContextRule(Rule):
+    """``open()`` whose handle is not managed by a ``with`` block.
+
+    A leaked handle on the storage path keeps fragment files locked on
+    some platforms and loses buffered writes on crash.  Long-lived
+    handles that are closed elsewhere must be suppressed with a
+    justification naming where they are closed.
+    """
+
+    rule_id = "RPD108"
+    name = "open-no-ctx"
+    severity = Severity.WARNING
+    description = "open() call outside a with-statement"
+    rationale = "leaked handles lose buffered writes and lock files"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        with_exprs = {
+            id(item.context_expr)
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.With, ast.AsyncWith))
+            for item in node.items
+        }
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "open"
+                and id(node) not in with_exprs
+            ):
+                yield self.finding(
+                    module, node,
+                    "open() outside a 'with' — use a context manager, or "
+                    "suppress stating where the handle is closed",
+                )
+
+
+@register
+class ECImplicitDtypeRule(Rule):
+    """EC buffers created without an explicit ``dtype``.
+
+    ``np.zeros(n)`` is float64; on the EC path every buffer is
+    ``uint8``/``uint16`` and an implicit float buffer silently corrupts
+    the byte math the first time it is mixed in.  (``arange`` is exempt:
+    index arrays legitimately default to the platform int.)
+    """
+
+    rule_id = "RPD109"
+    name = "ec-implicit-dtype"
+    severity = Severity.WARNING
+    description = "np.zeros/ones/empty/full without dtype= on an EC path"
+    rationale = "default float64 buffers silently corrupt GF(256) byte math"
+
+    _CTORS = {"zeros", "ones", "empty", "full"}
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.in_package("/ec/"):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._CTORS
+                and _root_name(node.func) in ("np", "numpy")
+                and not any(k.arg == "dtype" for k in node.keywords)
+                # dtype may also be positional: arg 2 for zeros/ones/empty,
+                # arg 3 for full(shape, fill_value, dtype).
+                and len(node.args) < (3 if node.func.attr == "full" else 2)
+            ):
+                yield self.finding(
+                    module, node,
+                    f"np.{node.func.attr}(...) without dtype= on an EC "
+                    "path — the float64 default corrupts byte math",
+                )
+
+
+@register
+class UnlockedGlobalCacheRule(Rule):
+    """Module-level cache populated via ``global`` without a lock.
+
+    Since PR 1 every hot path may run under ``thread_map``; the
+    fill-on-first-use ``global`` pattern then has a check-then-act race.
+    Even when the computation is idempotent, redundant rebuilds waste
+    work and the pattern breaks the moment the cached value is mutable.
+    """
+
+    rule_id = "RPD110"
+    name = "unlocked-global-cache"
+    severity = Severity.WARNING
+    description = "assignment to a `global` cache without holding a lock"
+    rationale = "check-then-act on module state races under thread_map"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            globals_declared: set[str] = set()
+            for n in ast.walk(fn):
+                if isinstance(n, ast.Global):
+                    globals_declared.update(n.names)
+            if not globals_declared:
+                continue
+            yield from self._scan(module, fn.body, fn.name, globals_declared,
+                                  locked=False)
+
+    def _scan(self, module, stmts, fn_name, names, *, locked):
+        for stmt in stmts:
+            now_locked = locked
+            if isinstance(stmt, ast.With):
+                for item in stmt.items:
+                    ctx = item.context_expr
+                    chain = _attr_chain(ctx) or _attr_chain(
+                        getattr(ctx, "func", None) or ast.Name(id="")
+                    )
+                    if chain and _is_lock_name(chain):
+                        now_locked = True
+            if isinstance(stmt, (ast.Assign, ast.AugAssign)) and not now_locked:
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                )
+                for t in targets:
+                    if isinstance(t, ast.Name) and t.id in names:
+                        yield self.finding(
+                            module, stmt,
+                            f"{fn_name!r} assigns global {t.id!r} without "
+                            "holding a lock — guard the fill-on-first-use "
+                            "with threading.Lock",
+                        )
+            for sub in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, sub, None)
+                if inner:
+                    yield from self._scan(module, inner, fn_name, names,
+                                          locked=now_locked)
+            for handler in getattr(stmt, "handlers", []) or []:
+                yield from self._scan(module, handler.body, fn_name, names,
+                                      locked=now_locked)

@@ -1,0 +1,204 @@
+"""Runtime thread sanitizer for ``thread_map`` worker callables.
+
+The static rule RPD103 catches shared-state writes it can see in the
+AST; this module catches the ones it cannot.  When enabled, every
+pooled :func:`repro.parallel.threads.thread_map` call shadow-tracks the
+mutable state its callable can reach — closure cells, the bound
+``self``, and module globals the code object references — by
+fingerprinting each object before the map and after every worker
+invocation.  A fingerprint that changes during the parallel region is
+an *observed write to shared state*; unless the callable also carries a
+lock (it closed over a ``threading.Lock``-like object, so the writes
+are presumed synchronized) or the caller explicitly vouched for the
+object via ``allow_shared_writes``, the map fails with
+:class:`ThreadSanitizerError` naming the object and the threads that
+wrote it.
+
+Enable it with the environment variable ``RAPIDS_THREAD_SANITIZER``:
+
+* ``1`` / ``strict`` — violations raise :class:`ThreadSanitizerError`;
+* ``warn`` — violations emit a :class:`RuntimeWarning` instead (useful
+  for first runs over an unsanitized suite).
+
+The fingerprints are best-effort (capped ``repr`` for containers, a
+CRC over the bytes for ndarrays): the sanitizer is a test-time oracle,
+not a proof system — it reliably catches the "append to a closure list
+from eight threads" class of bug that only corrupts results under load.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Collection
+
+__all__ = [
+    "ThreadSanitizerError",
+    "MutationEvent",
+    "SharedStateTracker",
+    "sanitizer_mode",
+    "SANITIZER_ENV",
+]
+
+SANITIZER_ENV = "RAPIDS_THREAD_SANITIZER"
+
+#: Containers the tracker fingerprints by (capped) repr.
+_CONTAINER_TYPES = (list, dict, set, bytearray)
+
+#: Fingerprint at most this many repr characters / ndarray bytes — the
+#: tracker is an under-approximating oracle, not a checksum of the world.
+_CAP = 1 << 16
+
+
+def sanitizer_mode() -> str | None:
+    """Current mode: ``"strict"``, ``"warn"`` or ``None`` (disabled)."""
+    raw = os.environ.get(SANITIZER_ENV, "").strip().lower()
+    if raw in ("", "0", "off", "false"):
+        return None
+    if raw == "warn":
+        return "warn"
+    return "strict"
+
+
+class ThreadSanitizerError(RuntimeError):
+    """A worker callable wrote shared state without synchronization."""
+
+
+@dataclass(frozen=True)
+class MutationEvent:
+    """One observed unsynchronized write."""
+
+    name: str
+    thread: str
+
+    def __str__(self) -> str:
+        return f"{self.name!r} mutated by worker thread {self.thread!r}"
+
+
+def _is_lock_like(obj: Any) -> bool:
+    return callable(getattr(obj, "acquire", None)) and callable(
+        getattr(obj, "release", None)
+    )
+
+
+def _fingerprint(obj: Any, depth: int = 0) -> Any:
+    """A cheap, stable digest of an object's observable state."""
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        np = None
+    if np is not None and isinstance(obj, np.ndarray):
+        data = obj.tobytes()[:_CAP] if obj.size else b""
+        return ("ndarray", obj.shape, str(obj.dtype), zlib.crc32(data))
+    if isinstance(obj, _CONTAINER_TYPES):
+        try:
+            body = repr(obj)[:_CAP]
+        # rapidslint: disable-next=RPD105 -- defensive: arbitrary user reprs may raise anything; fall back to a typed placeholder
+        except Exception:  # reprs of user objects may themselves raise
+            body = f"<unreprable {type(obj).__name__}>"
+        return ("container", len(obj), zlib.crc32(body.encode("utf-8", "replace")))
+    if hasattr(obj, "__dict__") and depth == 0:
+        return ("object", _fingerprint(dict(vars(obj)), depth=1))
+    return ("opaque", id(obj))
+
+
+def _shared_objects(fn: Callable) -> tuple[dict[str, Any], bool]:
+    """Discover the mutable state ``fn`` can reach, plus whether a
+    lock-like object travels with it (presumed synchronization)."""
+    shared: dict[str, Any] = {}
+    has_lock = False
+
+    def consider(name: str, obj: Any) -> None:
+        nonlocal has_lock
+        if _is_lock_like(obj):
+            has_lock = True
+            return
+        import numpy as np
+
+        if isinstance(obj, (_CONTAINER_TYPES, np.ndarray)):
+            shared[name] = obj
+        elif hasattr(obj, "__dict__") and not callable(obj):
+            shared[name] = obj
+
+    seen_self = getattr(fn, "__self__", None)
+    if seen_self is not None:
+        consider("self", seen_self)
+    code = getattr(fn, "__code__", None)
+    closure = getattr(fn, "__closure__", None)
+    if code is not None and closure:
+        for name, cell in zip(code.co_freevars, closure):
+            try:
+                consider(name, cell.cell_contents)
+            except ValueError:  # empty cell
+                continue
+    if code is not None:
+        fn_globals = getattr(fn, "__globals__", {})
+        for name in code.co_names:
+            if name in fn_globals:
+                obj = fn_globals[name]
+                if isinstance(obj, _CONTAINER_TYPES):
+                    consider(name, obj)
+                elif _is_lock_like(obj):
+                    has_lock = True
+    return shared, has_lock
+
+
+class SharedStateTracker:
+    """Shadow-tracks one callable's shared state across worker calls."""
+
+    def __init__(
+        self,
+        fn: Callable,
+        *,
+        allow: Collection[str] = (),
+        mode: str = "strict",
+    ) -> None:
+        self.fn = fn
+        self.mode = mode
+        self.allow = set(allow)
+        shared, self.has_lock = _shared_objects(fn)
+        self.shared = {n: o for n, o in shared.items() if n not in self.allow}
+        self._guard = threading.Lock()
+        self._baseline = {n: _fingerprint(o) for n, o in self.shared.items()}
+        self.events: list[MutationEvent] = []
+
+    def wrap(self) -> Callable:
+        """The instrumented callable to hand to the pool."""
+        if not self.shared or self.has_lock:
+            return self.fn
+
+        def instrumented(item):
+            result = self.fn(item)
+            with self._guard:
+                for name, obj in self.shared.items():
+                    fp = _fingerprint(obj)
+                    if fp != self._baseline[name]:
+                        self._baseline[name] = fp
+                        self.events.append(
+                            MutationEvent(name, threading.current_thread().name)
+                        )
+            return result
+
+        return instrumented
+
+    def verify(self) -> None:
+        """Raise (or warn) if any unsynchronized write was observed."""
+        if not self.events:
+            return
+        detail = "; ".join(str(e) for e in self.events[:8])
+        more = len(self.events) - 8
+        if more > 0:
+            detail += f"; … {more} more"
+        message = (
+            f"thread sanitizer: callable {getattr(self.fn, '__qualname__', self.fn)!r} "
+            f"wrote shared state without a lock ({detail}). Synchronize with "
+            "threading.Lock, return results instead of mutating, or pass "
+            "allow_shared_writes=(...) if the writes are provably disjoint."
+        )
+        if self.mode == "warn":
+            warnings.warn(message, RuntimeWarning, stacklevel=3)
+        else:
+            raise ThreadSanitizerError(message)

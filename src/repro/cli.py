@@ -7,6 +7,7 @@ Subcommands::
     rapids optimize-ft                      solve the FT configuration model
     rapids estimate-bandwidth               synthesize logs + estimate (§5.1.2)
     rapids info <dir>                       describe a refactored object
+    rapids lint [paths...]                  run the rapidslint static analyzer
 
 The CLI operates on a simple on-disk layout: ``<dir>/component-XX.bin``
 plus a ``manifest`` container holding the reconstruction metadata.
@@ -27,7 +28,7 @@ from .refactor import Refactorer
 from .refactor.serialization import load_directory, save_directory
 from .transfer import GB, estimate_bandwidths, generate_transfer_logs
 
-__all__ = ["main"]
+__all__ = ["build_parser", "main"]
 
 _write_refactored = save_directory
 
@@ -200,6 +201,22 @@ def _cmd_validate(args) -> int:
     return 0 if abs(res.z_score) < 5 else 2
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import all_rules, run_lint
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.name:<24} [{rule.severity}] "
+                  f"{rule.description}")
+        return 0
+    select = (
+        [s.strip() for s in args.select.split(",") if s.strip()]
+        if args.select
+        else None
+    )
+    return run_lint(args.paths, select=select, fmt=args.format)
+
+
 def _cmd_estimate_bandwidth(args) -> int:
     records, _ = generate_transfer_logs(
         num_endpoints=args.endpoints, seed=args.seed
@@ -252,6 +269,19 @@ def build_parser() -> argparse.ArgumentParser:
     o.add_argument("--omega", type=float, default=0.25)
     o.add_argument("--brute-force", action="store_true")
     o.set_defaults(func=_cmd_optimize_ft)
+
+    ln = sub.add_parser(
+        "lint",
+        help="run the rapidslint static analyzer over source paths",
+    )
+    ln.add_argument("paths", nargs="*", default=["src"],
+                    help="files or directories to lint (default: src)")
+    ln.add_argument("--select", default=None,
+                    help="comma-separated rule ids to run (default: all)")
+    ln.add_argument("--format", default="text", choices=["text", "json"])
+    ln.add_argument("--list-rules", action="store_true",
+                    help="print the rule registry and exit")
+    ln.set_defaults(func=_cmd_lint)
 
     b = sub.add_parser("estimate-bandwidth",
                        help="synthesize Globus logs and estimate bandwidths")

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Collection, Iterable, Sequence, TypeVar
 
 __all__ = ["thread_map", "default_workers"]
 
@@ -35,17 +35,41 @@ def thread_map(
     items: Iterable[T] | Sequence[T],
     *,
     workers: int | None = None,
+    allow_shared_writes: Collection[str] = (),
 ) -> list[R]:
     """Map ``fn`` over ``items`` on a thread pool, preserving order.
 
     ``workers=None`` uses :func:`default_workers`; ``workers <= 1`` or a
     single item runs inline with no pool.  Exceptions propagate to the
     caller exactly as in the serial case.
+
+    When the ``RAPIDS_THREAD_SANITIZER`` environment variable is set,
+    pooled maps run under the runtime thread sanitizer
+    (:mod:`repro.analysis.sanitizer`): the shared state reachable from
+    ``fn`` is shadow-tracked and any unsynchronized write observed
+    during the map raises
+    :class:`~repro.analysis.sanitizer.ThreadSanitizerError`.
+    ``allow_shared_writes`` names objects (by closure/global/``self``
+    name) the caller certifies are written at provably disjoint
+    locations — e.g. disjoint row spans of a preallocated output array —
+    and therefore exempt from tracking.
     """
     items = list(items)
     if workers is None:
         workers = default_workers()
     if workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
+    tracker = None
+    from ..analysis.sanitizer import sanitizer_mode
+
+    mode = sanitizer_mode()
+    if mode is not None:
+        from ..analysis.sanitizer import SharedStateTracker
+
+        tracker = SharedStateTracker(fn, allow=allow_shared_writes, mode=mode)
+        fn = tracker.wrap()
     with ThreadPoolExecutor(max_workers=min(workers, len(items))) as pool:
-        return list(pool.map(fn, items))
+        results = list(pool.map(fn, items))
+    if tracker is not None:
+        tracker.verify()
+    return results

@@ -1,0 +1,483 @@
+"""Unit tests for the rapidslint static-analysis subsystem.
+
+Each rule gets at least one positive (fires) and one negative (stays
+quiet) case; the suppression machinery gets its own section.  Sources
+are analyzed as strings with a fake path, since several rules are
+path-scoped (EC / solver modules).
+"""
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import META_RULE_ID, Analyzer, Severity, all_rules, get_rule
+
+EC_PATH = "src/repro/ec/somemod.py"
+SOLVER_PATH = "src/repro/optimize/somesolver.py"
+
+
+def lint(source, *, path="src/repro/mod.py", select=None):
+    analyzer = Analyzer(select=select)
+    return analyzer.check_source(textwrap.dedent(source), path)
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestRegistry:
+    def test_at_least_eight_rules_registered(self):
+        assert len(all_rules()) >= 8
+
+    def test_rules_have_metadata(self):
+        for rule in all_rules():
+            assert rule.rule_id.startswith("RPD")
+            assert rule.name
+            assert rule.description
+            assert rule.rationale
+            assert isinstance(rule.severity, Severity)
+
+    def test_get_rule(self):
+        assert get_rule("RPD101").name == "gf256-raw-arith"
+
+    def test_unknown_select_rejected(self):
+        with pytest.raises(ValueError):
+            Analyzer(select=["RPD999"])
+
+
+class TestGFRawArith:
+    def test_positive_star_on_gf_result(self):
+        findings = lint(
+            """
+            from repro.ec import gf256
+            def parity(a, b):
+                prod = gf256.mul(a, b)
+                return prod * 2
+            """,
+            select=["RPD101"],
+        )
+        assert rule_ids(findings) == ["RPD101"]
+
+    def test_positive_direct_import_and_chain(self):
+        findings = lint(
+            """
+            from repro.ec.gf256 import mul
+            def f(a, b):
+                x = mul(a, b)
+                y = x[1:]
+                return y + b
+            """,
+            select=["RPD101"],
+        )
+        assert rule_ids(findings) == ["RPD101"]
+
+    def test_negative_gf_add_used(self):
+        findings = lint(
+            """
+            from repro.ec import gf256
+            def parity(a, b):
+                prod = gf256.mul(a, b)
+                return gf256.add(prod, b)
+            """,
+            select=["RPD101"],
+        )
+        assert findings == []
+
+    def test_negative_module_without_gf_import(self):
+        findings = lint(
+            """
+            def scale(prod, b):
+                return prod * b
+            """,
+            select=["RPD101"],
+        )
+        assert findings == []
+
+
+class TestECAstypeCopy:
+    def test_positive_astype_without_copy(self):
+        findings = lint(
+            "def f(a):\n    return a.astype('uint16')\n",
+            path=EC_PATH,
+            select=["RPD102"],
+        )
+        assert rule_ids(findings) == ["RPD102"]
+
+    def test_negative_with_copy_or_outside_ec(self):
+        clean = "def f(a):\n    return a.astype('uint16', copy=False)\n"
+        assert lint(clean, path=EC_PATH, select=["RPD102"]) == []
+        dirty = "def f(a):\n    return a.astype('uint16')\n"
+        assert lint(dirty, path="src/repro/core/x.py", select=["RPD102"]) == []
+
+
+class TestThreadMapSharedState:
+    def test_positive_append_to_closure(self):
+        findings = lint(
+            """
+            def run(items):
+                results = []
+                def work(item):
+                    results.append(item * 2)
+                thread_map(work, items, workers=4)
+                return results
+            """,
+            select=["RPD103"],
+        )
+        assert rule_ids(findings) == ["RPD103"]
+
+    def test_positive_self_write_via_pool(self):
+        findings = lint(
+            """
+            class Job:
+                def work(self, item):
+                    self.done += 1
+                def run(self, pool, items):
+                    pool.map(self.work, items)
+            """,
+            select=["RPD103"],
+        )
+        assert rule_ids(findings) == ["RPD103"]
+
+    def test_negative_write_under_lock(self):
+        findings = lint(
+            """
+            def run(items, lock):
+                results = []
+                def work(item):
+                    with lock:
+                        results.append(item * 2)
+                thread_map(work, items, workers=4)
+                return results
+            """,
+            select=["RPD103"],
+        )
+        assert findings == []
+
+    def test_negative_pure_callable(self):
+        findings = lint(
+            """
+            def run(items):
+                def work(item):
+                    local = [item]
+                    local.append(item)
+                    return item * 2
+                return thread_map(work, items, workers=4)
+            """,
+            select=["RPD103"],
+        )
+        assert findings == []
+
+
+class TestSolverNondeterminism:
+    def test_positive_time_time(self):
+        findings = lint(
+            "import time\ndef solve():\n    return time.time()\n",
+            path=SOLVER_PATH,
+            select=["RPD104"],
+        )
+        assert rule_ids(findings) == ["RPD104"]
+
+    def test_positive_unseeded_default_rng(self):
+        findings = lint(
+            "import numpy as np\ndef solve():\n"
+            "    rng = np.random.default_rng()\n    return rng\n",
+            path=SOLVER_PATH,
+            select=["RPD104"],
+        )
+        assert rule_ids(findings) == ["RPD104"]
+
+    def test_positive_legacy_np_random(self):
+        findings = lint(
+            "import numpy as np\ndef solve():\n"
+            "    return np.random.shuffle([1, 2])\n",
+            path=SOLVER_PATH,
+            select=["RPD104"],
+        )
+        assert rule_ids(findings) == ["RPD104"]
+
+    def test_negative_seeded_and_perf_counter(self):
+        findings = lint(
+            """
+            import time
+            import numpy as np
+            def solve(seed):
+                rng = np.random.default_rng(seed)
+                start = time.perf_counter()
+                return rng, start
+            """,
+            path=SOLVER_PATH,
+            select=["RPD104"],
+        )
+        assert findings == []
+
+    def test_negative_outside_solver_scope(self):
+        findings = lint(
+            "import time\ndef now():\n    return time.time()\n",
+            path="src/repro/transfer/x.py",
+            select=["RPD104"],
+        )
+        assert findings == []
+
+
+class TestBroadExcept:
+    def test_positive_bare_except(self):
+        findings = lint(
+            "def f():\n    try:\n        g()\n    except:\n        pass\n",
+            select=["RPD105"],
+        )
+        assert rule_ids(findings) == ["RPD105"]
+
+    def test_positive_swallowed_exception(self):
+        findings = lint(
+            "def f():\n    try:\n        g()\n"
+            "    except Exception:\n        pass\n",
+            select=["RPD105"],
+        )
+        assert rule_ids(findings) == ["RPD105"]
+
+    def test_negative_reraise_or_narrow(self):
+        reraise = (
+            "def f():\n    try:\n        g()\n"
+            "    except Exception:\n        cleanup()\n        raise\n"
+        )
+        assert lint(reraise, select=["RPD105"]) == []
+        narrow = (
+            "def f():\n    try:\n        g()\n"
+            "    except (ValueError, KeyError):\n        pass\n"
+        )
+        assert lint(narrow, select=["RPD105"]) == []
+
+
+class TestAllDrift:
+    def test_positive_missing_definition(self):
+        findings = lint(
+            '__all__ = ["gone"]\n\ndef here():\n    pass\n',
+            select=["RPD106"],
+        )
+        assert set(rule_ids(findings)) == {"RPD106"}
+        assert any("gone" in f.message for f in findings)
+
+    def test_positive_public_def_not_exported(self):
+        findings = lint(
+            '__all__ = ["a"]\n\ndef a():\n    pass\n\ndef b():\n    pass\n',
+            select=["RPD106"],
+        )
+        assert rule_ids(findings) == ["RPD106"]
+        assert "b" in findings[0].message
+
+    def test_negative_in_sync(self):
+        source = (
+            '__all__ = ["a", "CONST"]\n\nCONST = 3\n\n'
+            "def a():\n    pass\n\ndef _private():\n    pass\n"
+        )
+        assert lint(source, select=["RPD106"]) == []
+
+    def test_negative_no_all(self):
+        assert lint("def a():\n    pass\n", select=["RPD106"]) == []
+
+
+class TestMutableDefault:
+    def test_positive_list_literal(self):
+        findings = lint("def f(x, acc=[]):\n    return acc\n",
+                        select=["RPD107"])
+        assert rule_ids(findings) == ["RPD107"]
+
+    def test_positive_dict_call(self):
+        findings = lint("def f(x, acc=dict()):\n    return acc\n",
+                        select=["RPD107"])
+        assert rule_ids(findings) == ["RPD107"]
+
+    def test_negative_none_default(self):
+        assert lint("def f(x, acc=None):\n    return acc\n",
+                    select=["RPD107"]) == []
+
+
+class TestOpenNoContext:
+    def test_positive_loose_open(self):
+        findings = lint("def f(p):\n    fh = open(p)\n    return fh.read()\n",
+                        select=["RPD108"])
+        assert rule_ids(findings) == ["RPD108"]
+
+    def test_negative_with_block(self):
+        source = (
+            "def f(p):\n    with open(p) as fh:\n        return fh.read()\n"
+        )
+        assert lint(source, select=["RPD108"]) == []
+
+
+class TestECImplicitDtype:
+    def test_positive_float_default(self):
+        findings = lint(
+            "import numpy as np\ndef f(n):\n    return np.zeros(n)\n",
+            path=EC_PATH,
+            select=["RPD109"],
+        )
+        assert rule_ids(findings) == ["RPD109"]
+
+    def test_negative_explicit_dtype_or_outside_ec(self):
+        clean = (
+            "import numpy as np\n"
+            "def f(n):\n    return np.zeros(n, dtype=np.uint8)\n"
+        )
+        assert lint(clean, path=EC_PATH, select=["RPD109"]) == []
+        dirty = "import numpy as np\ndef f(n):\n    return np.zeros(n)\n"
+        assert lint(dirty, path="src/repro/sim/x.py", select=["RPD109"]) == []
+
+
+class TestUnlockedGlobalCache:
+    def test_positive_unguarded_fill(self):
+        findings = lint(
+            """
+            _CACHE = None
+            def table():
+                global _CACHE
+                if _CACHE is None:
+                    _CACHE = build()
+                return _CACHE
+            """,
+            select=["RPD110"],
+        )
+        assert rule_ids(findings) == ["RPD110"]
+
+    def test_negative_guarded_fill(self):
+        findings = lint(
+            """
+            import threading
+            _CACHE = None
+            _CACHE_LOCK = threading.Lock()
+            def table():
+                global _CACHE
+                if _CACHE is None:
+                    with _CACHE_LOCK:
+                        if _CACHE is None:
+                            _CACHE = build()
+                return _CACHE
+            """,
+            select=["RPD110"],
+        )
+        assert findings == []
+
+
+class TestSuppressions:
+    DIRTY = "def f(x, acc=[]):  # rapidslint: disable=RPD107 -- test fixture\n    return acc\n"
+
+    def test_inline_suppression_silences(self):
+        assert lint(self.DIRTY, select=["RPD107"]) == []
+
+    def test_disable_next_silences(self):
+        source = (
+            "# rapidslint: disable-next=RPD107 -- test fixture\n"
+            "def f(x, acc=[]):\n    return acc\n"
+        )
+        assert lint(source, select=["RPD107"]) == []
+
+    def test_disable_file_silences(self):
+        source = (
+            "# rapidslint: disable-file=RPD107 -- test fixture\n"
+            "def f(x, acc=[]):\n    return acc\n"
+            "def g(x, acc={}):\n    return acc\n"
+        )
+        assert lint(source, select=["RPD107"]) == []
+
+    def test_suppression_without_justification_is_reported(self):
+        source = (
+            "# rapidslint: disable-next=RPD107\n"
+            "def f(x, acc=[]):\n    return acc\n"
+        )
+        findings = lint(source, select=["RPD107"])
+        ids = rule_ids(findings)
+        # the malformed suppression is reported AND does not silence
+        assert META_RULE_ID in ids and "RPD107" in ids
+
+    def test_unknown_rule_id_is_reported(self):
+        source = "x = 1  # rapidslint: disable=RPD999 -- whatever\n"
+        findings = lint(source)
+        assert rule_ids(findings) == [META_RULE_ID]
+        assert "unknown rule" in findings[0].message
+
+    def test_unused_suppression_is_reported(self):
+        source = "x = 1  # rapidslint: disable=RPD107 -- stale\n"
+        findings = lint(source, select=["RPD107"])
+        assert rule_ids(findings) == [META_RULE_ID]
+        assert "unused" in findings[0].message
+
+    def test_docstring_example_is_not_a_suppression(self):
+        source = (
+            '"""Docs.\n\n    # rapidslint: disable=RPD107 -- example\n"""\n'
+            "def f(x, acc=[]):\n    return acc\n"
+        )
+        findings = lint(source, select=["RPD107"])
+        assert rule_ids(findings) == ["RPD107"]
+
+    def test_severity_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+
+class TestAnalyzerDriver:
+    def test_syntax_error_is_reported_not_raised(self):
+        findings = lint("def f(:\n")
+        assert rule_ids(findings) == [META_RULE_ID]
+        assert findings[0].severity == Severity.ERROR
+
+    def test_check_paths_walks_directories(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "bad.py").write_text(
+            "def f(x, acc=[]):\n    return acc\n"
+        )
+        (tmp_path / "pkg" / "good.py").write_text("X = 1\n")
+        analyzer = Analyzer(select=["RPD107"])
+        findings = analyzer.check_paths([tmp_path])
+        assert rule_ids(findings) == ["RPD107"]
+        assert findings[0].path.endswith("bad.py")
+
+    def test_repo_tree_is_clean(self):
+        """The acceptance gate: rapidslint exits 0 on the whole tree."""
+        repo = Path(__file__).resolve().parent.parent
+        findings = Analyzer().check_paths([repo / "src"])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+
+class TestCLI:
+    def _run(self, *argv):
+        import os
+
+        repo = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", "lint", *argv],
+            capture_output=True,
+            text=True,
+            cwd=repo,
+            env=env,
+        )
+
+    def test_lint_src_exits_zero(self):
+        proc = self._run("src")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_lint_reports_finding_and_exits_one(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x, acc=[]):\n    return acc\n")
+        proc = self._run(str(bad))
+        assert proc.returncode == 1
+        assert "RPD107" in proc.stdout
+
+    def test_list_rules(self):
+        proc = self._run("--list-rules")
+        assert proc.returncode == 0
+        assert "RPD101" in proc.stdout and "gf256-raw-arith" in proc.stdout
+
+    def test_json_format(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x, acc=[]):\n    return acc\n")
+        proc = self._run(str(bad), "--format", "json")
+        import json
+
+        findings = json.loads(proc.stdout[: proc.stdout.rindex("]") + 1])
+        assert findings[0]["rule"] == "RPD107"
