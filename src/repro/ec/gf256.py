@@ -16,6 +16,7 @@ polynomial and evaluation points.
 from __future__ import annotations
 
 import functools
+import threading
 
 import numpy as np
 
@@ -30,6 +31,7 @@ __all__ = [
     "inv",
     "pow_",
     "mul_table_row",
+    "full_mul_table",
     "pair_mul_table",
     "EXP_TABLE",
     "LOG_TABLE",
@@ -125,7 +127,7 @@ def pow_(a, n: int):
     a = np.asarray(a, dtype=np.uint8)
     if n == 0:
         return np.ones_like(a)
-    la = LOG_TABLE[a].astype(np.int64)
+    la = LOG_TABLE[a].astype(np.int64, copy=False)
     out = EXP_TABLE[(la * n) % 255]
     zero = a == 0
     if zero.ndim == 0:
@@ -147,16 +149,21 @@ def mul_table_row(c: int) -> np.ndarray:
 
 
 # Full 256x256 multiplication table built lazily; ~64 KiB, used by the
-# matrix kernels to turn GEMM-over-GF into row gathers.
+# matrix kernels to turn GEMM-over-GF into row gathers.  The fill is
+# guarded by a lock: encode/decode now fan out over thread_map, and an
+# unguarded check-then-act would rebuild the table concurrently.
 _FULL_TABLE: np.ndarray | None = None
+_FULL_TABLE_LOCK = threading.Lock()
 
 
 def full_mul_table() -> np.ndarray:
     """Return the complete 256x256 multiplication table (cached)."""
     global _FULL_TABLE
     if _FULL_TABLE is None:
-        xs = np.arange(256, dtype=np.uint8)
-        _FULL_TABLE = mul(xs[:, None], xs[None, :])
+        with _FULL_TABLE_LOCK:
+            if _FULL_TABLE is None:
+                xs = np.arange(256, dtype=np.uint8)
+                _FULL_TABLE = mul(xs[:, None], xs[None, :])
     return _FULL_TABLE
 
 
@@ -175,6 +182,6 @@ def pair_mul_table(c: int) -> np.ndarray:
     """
     if not 0 <= c < 256:
         raise ValueError(f"field element out of range: {c}")
-    row = full_mul_table()[c].astype(np.uint16)
+    row = full_mul_table()[c].astype(np.uint16, copy=False)
     # [hi, lo] -> row[lo] | row[hi] << 8, flattened so index = hi*256 + lo.
     return (row[None, :] | (row[:, None] << 8)).reshape(-1)

@@ -30,6 +30,7 @@ fragments across codes, payload sizes, and erasure patterns.
 
 from __future__ import annotations
 
+import threading
 from functools import lru_cache
 
 import numpy as np
@@ -187,20 +188,27 @@ class EncodePlan:
                 for lo, hi in group:
                     self._apply_span(srcs, out, lo, hi, bufs)
 
-            _lazy_thread_map()(_work, groups, workers=nw)
+            # Span groups write disjoint column ranges of `out`, so the
+            # thread sanitizer is told these writes are safe by design.
+            _lazy_thread_map()(
+                _work, groups, workers=nw, allow_shared_writes=("out",)
+            )
         return out
 
 
 _thread_map = None
+_thread_map_lock = threading.Lock()
 
 
 def _lazy_thread_map():
     """Import ``thread_map`` on first use to keep ``repro.ec`` import-light."""
     global _thread_map
     if _thread_map is None:
-        from ..parallel.threads import thread_map
+        with _thread_map_lock:
+            if _thread_map is None:
+                from ..parallel.threads import thread_map
 
-        _thread_map = thread_map
+                _thread_map = thread_map
     return _thread_map
 
 

@@ -76,7 +76,7 @@ def vandermonde(rows: int, cols: int) -> np.ndarray:
     """
     if rows > 256:
         raise ValueError("at most 256 distinct evaluation points in GF(256)")
-    logs = gf256.LOG_TABLE[np.arange(rows)].astype(np.int64)
+    logs = gf256.LOG_TABLE[np.arange(rows)].astype(np.int64, copy=False)
     exponents = (logs[:, None] * np.arange(cols)[None, :]) % 255
     out = gf256.EXP_TABLE[exponents]
     if rows and cols:

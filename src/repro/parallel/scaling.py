@@ -31,7 +31,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ClusterScalingModel", "OperationRates", "measure_rate", "ALPINE_FS"]
+__all__ = [
+    "ClusterScalingModel",
+    "FilesystemModel",
+    "OperationRates",
+    "andes_calibrated_rates",
+    "measure_rate",
+    "ALPINE_FS",
+]
 
 
 @dataclass(frozen=True)

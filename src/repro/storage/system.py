@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["StorageSystem", "StoredFragment"]
+__all__ = ["StorageSystem", "StoredFragment", "UnavailableError"]
 
 
 @dataclass
