@@ -75,7 +75,9 @@ class KVStore:
 
     def _open_active(self, seg_id: int) -> None:
         self._active_id = seg_id
+        # rapidslint: disable-next=RPD108 -- long-lived append handle, closed in close()/_rotate
         self._active = open(self._segment_path(seg_id), "ab")
+        # rapidslint: disable-next=RPD108 -- segment read handle cached in _handles, closed in close()
         self._handles[seg_id] = open(self._segment_path(seg_id), "rb")
 
     def _recover(self) -> None:
@@ -113,6 +115,7 @@ class KVStore:
             # Torn final record from a crash: truncate it away.
             with open(path, "ab") as fh:
                 fh.truncate(valid_end)
+        # rapidslint: disable-next=RPD108 -- segment read handle cached in _handles, closed in close()
         self._handles[seg_id] = open(path, "rb")
 
     @staticmethod
