@@ -2,13 +2,23 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-assert bench-smoke examples tables figures all clean
+.PHONY: install test test-sanitized lint bench bench-assert bench-smoke examples tables figures all clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Tier-1 tests with the runtime thread sanitizer shadow-tracking every
+# pooled thread_map callable (see repro/analysis/sanitizer.py).
+test-sanitized:
+	RAPIDS_THREAD_SANITIZER=1 $(PYTHON) -m pytest tests/
+
+# rapidslint: project-specific static analysis (rules RPD101-RPD110).
+# Fails on any non-suppressed finding; suppressions need justifications.
+lint:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.cli lint src tests benchmarks examples
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -28,7 +38,7 @@ examples:
 tables:
 	$(PYTHON) benchmarks/run_all.py
 
-all: test bench-assert tables
+all: lint test bench-assert tables
 
 clean:
 	rm -rf .pytest_cache .hypothesis build *.egg-info src/*.egg-info
