@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-sanitized lint bench bench-assert bench-smoke examples tables figures all clean
+.PHONY: install test test-sanitized lint bench bench-assert bench-smoke bench-refactor examples tables figures all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -26,10 +26,17 @@ bench:
 bench-assert:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-disable
 
-# Fast EC-kernel regression check: seed vs planned kernels at reduced
-# sizes, byte-identical output verified, BENCH_kernels.json emitted.
+# Fast kernel regression checks at reduced sizes: seed vs current
+# implementations, byte-identical output verified, BENCH_kernels.json
+# and BENCH_refactor.json emitted.
 bench-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_kernels.py --smoke
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_refactor.py --smoke
+
+# Full refactoring-pipeline benchmark (64 MiB array; asserts the >= 2x
+# refactor+reconstruct speedup and the sublinear measure_errors cost).
+bench-refactor:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_refactor.py
 
 examples:
 	for ex in examples/*.py; do $(PYTHON) $$ex; done

@@ -6,6 +6,8 @@ to 32-1,024 cores.  Figure claims: reconstruction dominates at small
 core counts and parallelises away as cores grow.
 """
 
+import threading
+
 import pytest
 
 from harness import (
@@ -26,19 +28,22 @@ SOLVER_CHARGE = 60.0
 #: nondeterministic, which used to flake
 #: ``test_gather_and_solver_constant``.
 _GATHER_CACHE: dict[str, float] = {}
+_GATHER_CACHE_LOCK = threading.Lock()
 
 
 def _gather_latency(profile) -> float:
     if profile.name not in _GATHER_CACHE:
-        bw = bandwidths(N_SYSTEMS)
-        ms = profile.optimal_ms()
-        outcome = optimized_strategy(
-            profile.level_sizes, ms, bw, time_budget=0.3, charged_time=0.0,
-            seed=0, objective="makespan",
-        )
-        _GATHER_CACHE[profile.name] = gathering_latency(
-            outcome, profile.level_sizes, ms, bw
-        )
+        with _GATHER_CACHE_LOCK:
+            if profile.name not in _GATHER_CACHE:
+                bw = bandwidths(N_SYSTEMS)
+                ms = profile.optimal_ms()
+                outcome = optimized_strategy(
+                    profile.level_sizes, ms, bw, time_budget=0.3,
+                    charged_time=0.0, seed=0, objective="makespan",
+                )
+                _GATHER_CACHE[profile.name] = gathering_latency(
+                    outcome, profile.level_sizes, ms, bw
+                )
     return _GATHER_CACHE[profile.name]
 
 

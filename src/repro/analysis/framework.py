@@ -153,6 +153,7 @@ def register(cls: type[Rule]) -> type[Rule]:
         raise ValueError(f"{cls.__name__} has no rule_id")
     if cls.rule_id in _REGISTRY or cls.rule_id == META_RULE_ID:
         raise ValueError(f"duplicate rule id {cls.rule_id}")
+    # rapidslint: disable-next=RPD110 -- import-time registration; decorators run on the single thread importing the module
     _REGISTRY[cls.rule_id] = cls()
     return cls
 

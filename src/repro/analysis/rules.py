@@ -23,8 +23,9 @@ RPD106    all-drift                ``__all__`` out of sync with public defs
 RPD107    mutable-default          mutable default argument values
 RPD108    open-no-ctx              ``open()`` outside a ``with`` block
 RPD109    ec-implicit-dtype        EC buffers created without ``dtype=``
-RPD110    unlocked-global-cache    ``global`` cache assignment without a
-                                   lock (racy under ``thread_map``)
+RPD110    unlocked-global-cache    ``global`` rebinds and module-dict
+                                   fill-on-first-use without a lock
+                                   (racy under ``thread_map``)
 ========  =======================  ========================================
 
 (``RPD100`` is reserved by the framework for malformed / unused
@@ -759,21 +760,34 @@ class ECImplicitDtypeRule(Rule):
 
 @register
 class UnlockedGlobalCacheRule(Rule):
-    """Module-level cache populated via ``global`` without a lock.
+    """Module-level cache populated without a lock.
 
     Since PR 1 every hot path may run under ``thread_map``; the
-    fill-on-first-use ``global`` pattern then has a check-then-act race.
-    Even when the computation is idempotent, redundant rebuilds waste
-    work and the pattern breaks the moment the cached value is mutable.
+    fill-on-first-use pattern then has a check-then-act race.  Even when
+    the computation is idempotent, redundant rebuilds waste work and the
+    pattern breaks the moment the cached value is mutable.
+
+    Two shapes are caught:
+
+    * rebinding a module global (``global X`` + ``X = ...``) outside a
+      lock, and
+    * filling a module-level dict cache by subscript
+      (``_CACHE[key] = ...``) outside a lock, in a function that first
+      *checks* the dict (``_CACHE.get(...)`` or ``key in _CACHE``) —
+      the check is what makes it check-then-act rather than a benign
+      import-time registry write.
     """
 
     rule_id = "RPD110"
     name = "unlocked-global-cache"
     severity = Severity.WARNING
-    description = "assignment to a `global` cache without holding a lock"
+    description = (
+        "fill-on-first-use of module-level cache without holding a lock"
+    )
     rationale = "check-then-act on module state races under thread_map"
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
+        module_dicts = self._module_dicts(module.tree)
         for fn in ast.walk(module.tree):
             if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
@@ -781,12 +795,59 @@ class UnlockedGlobalCacheRule(Rule):
             for n in ast.walk(fn):
                 if isinstance(n, ast.Global):
                     globals_declared.update(n.names)
-            if not globals_declared:
+            checked_dicts = self._checked_dicts(fn, module_dicts)
+            if not globals_declared and not checked_dicts:
                 continue
             yield from self._scan(module, fn.body, fn.name, globals_declared,
-                                  locked=False)
+                                  checked_dicts, locked=False)
 
-    def _scan(self, module, stmts, fn_name, names, *, locked):
+    @staticmethod
+    def _module_dicts(tree: ast.Module) -> set[str]:
+        """Names bound at module level to a dict literal or ``dict()``."""
+        names: set[str] = set()
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            is_dict = isinstance(value, ast.Dict) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "dict"
+            )
+            if not is_dict:
+                continue
+            for t in targets:
+                if isinstance(t, ast.Name):
+                    names.add(t.id)
+        return names
+
+    @staticmethod
+    def _checked_dicts(fn: ast.AST, module_dicts: set[str]) -> set[str]:
+        """Module dicts this function reads via ``.get`` or ``in`` first."""
+        checked: set[str] = set()
+        if not module_dicts:
+            return checked
+        for n in ast.walk(fn):
+            if (
+                isinstance(n, ast.Call)
+                and isinstance(n.func, ast.Attribute)
+                and n.func.attr == "get"
+                and isinstance(n.func.value, ast.Name)
+                and n.func.value.id in module_dicts
+            ):
+                checked.add(n.func.value.id)
+            elif isinstance(n, ast.Compare) and any(
+                isinstance(op, (ast.In, ast.NotIn)) for op in n.ops
+            ):
+                for comp in n.comparators:
+                    if isinstance(comp, ast.Name) and comp.id in module_dicts:
+                        checked.add(comp.id)
+        return checked
+
+    def _scan(self, module, stmts, fn_name, names, dict_names, *, locked):
         for stmt in stmts:
             now_locked = locked
             if isinstance(stmt, ast.With):
@@ -809,11 +870,23 @@ class UnlockedGlobalCacheRule(Rule):
                             "holding a lock — guard the fill-on-first-use "
                             "with threading.Lock",
                         )
+                    elif (
+                        isinstance(t, ast.Subscript)
+                        and isinstance(t.value, ast.Name)
+                        and t.value.id in dict_names
+                    ):
+                        yield self.finding(
+                            module, stmt,
+                            f"{fn_name!r} fills module-level cache "
+                            f"{t.value.id!r} by subscript after an unlocked "
+                            "get/containment check — guard the "
+                            "fill-on-first-use with threading.Lock",
+                        )
             for sub in ("body", "orelse", "finalbody"):
                 inner = getattr(stmt, sub, None)
                 if inner:
                     yield from self._scan(module, inner, fn_name, names,
-                                          locked=now_locked)
+                                          dict_names, locked=now_locked)
             for handler in getattr(stmt, "handlers", []) or []:
                 yield from self._scan(module, handler.body, fn_name, names,
-                                      locked=now_locked)
+                                      dict_names, locked=now_locked)

@@ -12,6 +12,7 @@ per-operation breakdowns fall out of the reports.
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -93,6 +94,13 @@ class RAPIDS:
         through the codec, across fragment chunks).  ``None`` (the
         default) uses the machine's CPU count — the parallel path is the
         default; pass 1 to force the inline serial path.
+    refactor_workers:
+        Thread fan-out for the refactoring stages (transform tiles,
+        per-plane zlib jobs, component (de)serialisation).  Defaults
+        like ``ec_workers``; every worker count produces bit-identical
+        refactored output.  When an explicit ``refactorer`` is supplied
+        its own ``workers`` setting wins unless ``refactor_workers`` is
+        also given explicitly.
     """
 
     def __init__(
@@ -104,10 +112,17 @@ class RAPIDS:
         omega: float = 0.25,
         p: float = 0.01,
         ec_workers: int | None = None,
+        refactor_workers: int | None = None,
     ) -> None:
         self.cluster = cluster
         self.catalog = catalog
-        self.refactorer = refactorer or Refactorer(4)
+        if refactorer is None:
+            self.refactorer = Refactorer(4, workers=refactor_workers)
+        else:
+            self.refactorer = refactorer
+            if refactor_workers is not None:
+                self.refactorer.workers = refactor_workers
+        self.refactor_workers = self.refactorer.workers
         self.omega = omega
         self.p = p
         self.ec_workers = ec_workers if ec_workers is not None else default_workers()
@@ -123,6 +138,7 @@ class RAPIDS:
         fragment_dir: str | Path | None = None,
         distribute: bool = True,
         transfer_service=None,
+        measure_errors: bool = True,
     ) -> PrepareReport:
         """Run the full data-preparation phase for one data object.
 
@@ -135,6 +151,14 @@ class RAPIDS:
         per destination, §4.2 style) instead of the closed-form latency
         model; failed tasks are retried until delivered and the service's
         clock advance is reported as the distribution latency.
+
+        ``measure_errors=False`` reports the closed-form error bounds
+        instead of measured per-prefix errors and switches to the
+        *pipelined* preparation path: the fault-tolerance solver runs on
+        the exact serialised sizes before any payload bytes exist, and
+        component ``j``'s erasure encode overlaps component ``j + 1``'s
+        serialisation.  Timing keys are unchanged; serialisation time is
+        accounted under ``ec_encode`` (the window it overlaps).
         """
         timings: dict[str, float] = {}
 
@@ -142,17 +166,31 @@ class RAPIDS:
         data = np.ascontiguousarray(data)
         timings["read"] = time.perf_counter() - t0
 
-        t0 = time.perf_counter()
-        obj = self.refactorer.refactor(data)
-        timings["refactor"] = time.perf_counter() - t0
+        if measure_errors:
+            t0 = time.perf_counter()
+            obj = self.refactorer.refactor(data)
+            timings["refactor"] = time.perf_counter() - t0
 
-        t0 = time.perf_counter()
-        sol = self._optimize_ft(obj.sizes, obj.errors, data.nbytes)
-        timings["ft_optimize"] = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            sol = self._optimize_ft(obj.sizes, obj.errors, data.nbytes)
+            timings["ft_optimize"] = time.perf_counter() - t0
 
-        t0 = time.perf_counter()
-        encoded = self._encode_levels(obj.payloads, sol.ms)
-        timings["ec_encode"] = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            encoded = self._encode_levels(obj.payloads, sol.ms)
+            timings["ec_encode"] = time.perf_counter() - t0
+        else:
+            t0 = time.perf_counter()
+            stream = self.refactorer.refactor_stream(data)
+            obj = stream.obj
+            timings["refactor"] = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            sol = self._optimize_ft(stream.sizes, obj.errors, data.nbytes)
+            timings["ft_optimize"] = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            encoded = self._encode_levels_streamed(stream, sol.ms)
+            timings["ec_encode"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
         if fragment_dir is not None:
@@ -221,6 +259,24 @@ class RAPIDS:
             return self.codec.encode_level(payload, m, level_index=j)
 
         return thread_map(_encode, jobs, workers=min(self.ec_workers, len(jobs)))
+
+    def _encode_levels_streamed(self, stream, ms) -> list:
+        """Erasure-code levels as the refactor stream serialises them.
+
+        The main thread drives the stream — serialising component ``j``
+        appends its payload to ``stream.obj.payloads`` — and immediately
+        submits the payload to a worker pool, so the GIL-releasing EC
+        kernels encode level ``j`` while the main thread is still
+        assembling level ``j + 1``'s bytes (the §4.1 preparation
+        pipeline).  Results come back in level order.
+        """
+        workers = max(1, min(self.ec_workers, len(ms)))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(self.codec.encode_level, payload, ms[j], level_index=j)
+                for j, payload in stream
+            ]
+            return [f.result() for f in futures]
 
     def _distribute_via_service(self, name, reqs, service) -> tuple[float, float]:
         """Push one bundled task per destination through a GlobusService,

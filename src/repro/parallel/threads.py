@@ -19,7 +19,7 @@ import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Collection, Iterable, Sequence, TypeVar
 
-__all__ = ["thread_map", "default_workers"]
+__all__ = ["balanced_spans", "thread_map", "default_workers"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -28,6 +28,26 @@ R = TypeVar("R")
 def default_workers() -> int:
     """Worker count used when callers pass ``workers=None``."""
     return os.cpu_count() or 1
+
+
+def balanced_spans(n: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into at most ``parts`` contiguous near-equal
+    ``(lo, hi)`` spans.
+
+    The split depends only on ``(n, parts)``, so callers that tile
+    row-independent kernels get a deterministic decomposition — the
+    basis for the "threaded output is bit-identical to serial" guarantee
+    in the refactor/transform layers.
+    """
+    parts = max(1, min(parts, n))
+    step, rem = divmod(n, parts)
+    spans: list[tuple[int, int]] = []
+    lo = 0
+    for i in range(parts):
+        hi = lo + step + (1 if i < rem else 0)
+        spans.append((lo, hi))
+        lo = hi
+    return spans
 
 
 def thread_map(

@@ -19,6 +19,7 @@ from itertools import product
 import numpy as np
 
 from ..refactor import RefactoredObject, Refactorer
+from .threads import thread_map
 
 __all__ = ["TileGrid", "tile_refactor", "tile_reconstruct", "tile_reconstruct_roi"]
 
@@ -97,18 +98,25 @@ def tile_refactor(
     grid: TileGrid,
     *,
     refactorer: Refactorer | None = None,
+    workers: int | None = None,
 ) -> dict[tuple[int, ...], RefactoredObject]:
-    """Refactor every tile independently; returns tile-id -> object."""
+    """Refactor every tile independently; returns tile-id -> object.
+
+    ``workers`` fans the (independent) tile refactors over a thread
+    pool; each tile's object is bit-identical to the serial result.
+    """
     if tuple(data.shape) != grid.shape:
         raise ValueError(f"data shape {data.shape} != grid shape {grid.shape}")
     refactorer = refactorer or Refactorer(4, num_planes=24)
-    return {
-        idx: refactorer.refactor(
+    ids = list(grid.tile_indices())
+
+    def _one(idx: tuple[int, ...]) -> RefactoredObject:
+        return refactorer.refactor(
             np.ascontiguousarray(data[grid.tile_box(idx)]),
             measure_errors=False,
         )
-        for idx in grid.tile_indices()
-    }
+
+    return dict(zip(ids, thread_map(_one, ids, workers=workers)))
 
 
 def tile_reconstruct(
@@ -117,13 +125,26 @@ def tile_reconstruct(
     *,
     upto: int | None = None,
     refactorer: Refactorer | None = None,
+    workers: int | None = None,
 ) -> np.ndarray:
-    """Reassemble the full array from its tiles."""
+    """Reassemble the full array from its tiles.
+
+    ``workers`` fans tile reconstructions over a thread pool; each tile
+    writes a disjoint box of the output, so the result is independent of
+    the worker count.
+    """
     refactorer = refactorer or Refactorer(4)
     first = next(iter(tiles.values()))
     out = np.empty(grid.shape, dtype=first.dtype)
-    for idx in grid.tile_indices():
+
+    def _one(idx: tuple[int, ...]) -> None:
+        # rapidslint: disable-next=RPD103 -- each tile fills a disjoint box of out, vouched via allow_shared_writes
         out[grid.tile_box(idx)] = refactorer.reconstruct(tiles[idx], upto=upto)
+
+    thread_map(
+        _one, list(grid.tile_indices()), workers=workers,
+        allow_shared_writes=("out",),
+    )
     return out
 
 
@@ -134,14 +155,21 @@ def tile_reconstruct_roi(
     *,
     upto: int | None = None,
     refactorer: Refactorer | None = None,
+    workers: int | None = None,
 ) -> tuple[np.ndarray, int]:
-    """Reconstruct only the ROI box; returns (data, tiles_touched)."""
+    """Reconstruct only the ROI box; returns (data, tiles_touched).
+
+    ``workers`` fans the touched tiles over a thread pool; the boxes
+    written are pairwise disjoint, so the result is independent of the
+    worker count.
+    """
     refactorer = refactorer or Refactorer(4)
     hit = grid.tiles_intersecting(roi)
     first = next(iter(tiles.values()))
     shape = tuple(hi - lo for lo, hi in roi)
     out = np.empty(shape, dtype=first.dtype)
-    for idx in hit:
+
+    def _one(idx: tuple[int, ...]) -> None:
         block = refactorer.reconstruct(tiles[idx], upto=upto)
         box = grid.tile_box(idx)
         src = []
@@ -151,5 +179,8 @@ def tile_reconstruct_roi(
             b = min(hi, s.stop)
             src.append(slice(a - s.start, b - s.start))
             dst.append(slice(a - lo, b - lo))
+        # rapidslint: disable-next=RPD103 -- ROI boxes of distinct tiles are disjoint, vouched via allow_shared_writes
         out[tuple(dst)] = block[tuple(src)]
+
+    thread_map(_one, hit, workers=workers, allow_shared_writes=("out",))
     return out, len(hit)

@@ -24,15 +24,21 @@ Encoding pipeline per coefficient group::
 Decoding tolerates an arbitrary *prefix* of the planes (always the most
 significant first); missing low planes read as zero magnitude bits, which
 bounds the dequantisation error by the first missing plane's weight.
+
+The heavy lifting — chunked bit extraction, per-plane zlib jobs, the
+vectorised plane reassembly — lives in :mod:`repro.refactor.kernels`,
+which can fan the work out over threads (``workers=``).  The blob format
+is unchanged from the original serial encoder and both directions are
+bit-compatible with it.
 """
 
 from __future__ import annotations
 
-import struct
-import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from . import kernels
 
 __all__ = ["PlaneSet", "encode_planes", "decode_planes", "plane_weight"]
 
@@ -79,48 +85,12 @@ def plane_weight(ps: PlaneSet, plane_index: int) -> float:
     return float(2.0 ** (ps.exponent - plane_index))
 
 
-def _deflate(payload: bytes) -> bytes:
-    """zlib with a raw-storage fallback for incompressible payloads.
-
-    The least-significant planes of floating-point data are effectively
-    random; compressing them wastes time and can even expand.  A 1-byte
-    marker selects the representation.
-    """
-    z = zlib.compress(payload, level=6)
-    if len(z) < len(payload):
-        return b"\x01" + z
-    return b"\x00" + payload
-
-
-def _inflate(blob: bytes) -> bytes:
-    if blob[:1] == b"\x01":
-        return zlib.decompress(blob[1:])
-    return blob[1:]
-
-
-def _pack(bits: np.ndarray) -> bytes:
-    return _deflate(np.packbits(bits).tobytes())
-
-
-def _unpack(blob: bytes, count: int) -> np.ndarray:
-    raw = np.frombuffer(_inflate(blob), dtype=np.uint8)
-    return np.unpackbits(raw, count=count).astype(bool)
-
-
-def _frame(bits_blob: bytes, sign_blob: bytes) -> bytes:
-    return struct.pack("<I", len(bits_blob)) + bits_blob + sign_blob
-
-
-def _unframe(blob: bytes) -> tuple[bytes, bytes]:
-    (blen,) = struct.unpack_from("<I", blob, 0)
-    return blob[4 : 4 + blen], blob[4 + blen :]
-
-
 def encode_planes(
     coeffs: np.ndarray,
     num_planes: int = DEFAULT_PLANES,
     *,
     lsb_exponent: int | None = None,
+    workers: int | None = None,
 ) -> PlaneSet:
     """Encode a flat coefficient array into embedded-sign bitplanes.
 
@@ -133,70 +103,23 @@ def encode_planes(
     planes, which is where most of the size reduction comes from.
     Either way the absolute quantisation error of every coefficient is
     bounded by the LSB weight.
+
+    ``workers`` fans the chunked bit extraction and the per-plane zlib
+    jobs over threads; the output is byte-identical for any value.
     """
-    coeffs = np.ascontiguousarray(coeffs, dtype=np.float64).reshape(-1)
-    count = coeffs.size
-    if count == 0:
-        return PlaneSet(0, 0, 0, [])
-    if not (1 <= num_planes <= 60):
-        raise ValueError(f"num_planes must be in [1, 60], got {num_planes}")
-    amax = float(np.max(np.abs(coeffs)))
-    if amax == 0.0 or not np.isfinite(amax):
-        exponent = 0
-    else:
-        exponent = int(np.floor(np.log2(amax)))
-    if lsb_exponent is not None:
-        # Anchored mode: plane 0 weight stays at the group exponent, but
-        # the plane count shrinks with the group's dynamic range.
-        num_planes = exponent - lsb_exponent + 1
-        if num_planes < 1:
-            # Every coefficient quantises to zero under the global floor.
-            return PlaneSet(count, exponent, 0, [])
-        if num_planes > 60:
-            raise ValueError(
-                f"anchored plane count {num_planes} exceeds 60; "
-                "raise lsb_exponent"
-            )
-    # Keep the LSB weight a normal double: for data living near the
-    # subnormal floor (exponent close to -1022) fewer planes are
-    # representable, so the plane count shrinks accordingly.
-    num_planes = min(num_planes, exponent + 1022)
-    if num_planes < 1:
-        return PlaneSet(count, exponent, 0, [])
-    sign = coeffs < 0
-    # Fixed-point magnitudes: LSB weight 2**(exponent - num_planes + 1).
-    lsb = 2.0 ** (exponent - num_planes + 1)
-    q = np.round(np.abs(coeffs) / lsb).astype(np.uint64)
-    # round() can push the top value to 2**num_planes; clamp into range.
-    q = np.minimum(q, np.uint64(2**num_planes - 1))
-    # Extract every plane in one vectorised pass: big-endian byte view +
-    # unpackbits gives a (count, width) bit matrix, MSB in column 0; the
-    # planes are its last num_planes columns.  packbits over axis 0 packs
-    # all planes in a single call.  A 32-bit view halves the matrix for
-    # the common num_planes <= 32 case.
-    if num_planes <= 32:
-        words = q.astype(">u4")
-        width = 32
-    else:
-        words = q.astype(">u8")
-        width = 64
-    bit_matrix = np.unpackbits(
-        words.view(np.uint8).reshape(count, width // 8), axis=1
+    qg = kernels.quantise(
+        coeffs, num_planes, lsb_exponent=lsb_exponent, workers=workers
     )
-    plane_cols = bit_matrix[:, width - num_planes :]
-    packed = np.packbits(plane_cols, axis=0)  # (ceil(count/8), num_planes)
-    # Leading-plane index per coefficient: the first set column of its
-    # bit-matrix row (exact for any width); zero coefficients get the
-    # sentinel num_planes and match no plane.
-    lead = np.where(q != 0, np.argmax(plane_cols, axis=1), num_planes)
-    planes = []
-    for i in range(num_planes):  # MSB (weight 2**exponent) first
-        bits_blob = _deflate(packed[:, i].tobytes())
-        planes.append(_frame(bits_blob, _pack(sign[lead == i])))
-    return PlaneSet(count, exponent, num_planes, planes)
+    planes = kernels.plane_payloads(qg, workers=workers)
+    return PlaneSet(qg.count, qg.exponent, qg.num_planes, planes)
 
 
-def decode_planes(ps: PlaneSet, keep: int | None = None) -> np.ndarray:
+def decode_planes(
+    ps: PlaneSet,
+    keep: int | None = None,
+    *,
+    workers: int | None = None,
+) -> np.ndarray:
     """Reconstruct coefficients from the first ``keep`` magnitude planes.
 
     ``keep=None`` uses every *present* plane (supporting partially
@@ -209,23 +132,10 @@ def decode_planes(ps: PlaneSet, keep: int | None = None) -> np.ndarray:
     if keep is None:
         keep = len(ps.planes)
     if not 0 <= keep <= ps.num_planes or keep > len(ps.planes):
-        raise ValueError(
-            f"keep must be in [0, min({ps.num_planes}, {len(ps.planes)}))],"
-            f" got {keep}"
-        )
-    q = np.zeros(ps.count, dtype=np.uint64)
-    sign = np.zeros(ps.count, dtype=bool)
-    seen = np.zeros(ps.count, dtype=bool)
-    for i in range(keep):
-        bits_blob, sign_blob = _unframe(ps.planes[i])
-        bits = _unpack(bits_blob, ps.count)
-        new = bits & ~seen
-        nnew = int(new.sum())
-        if nnew:
-            sign[new] = _unpack(sign_blob, nnew)
-        seen |= bits
-        q |= bits.astype(np.uint64) << np.uint64(ps.num_planes - 1 - i)
-    lsb = 2.0 ** (ps.exponent - ps.num_planes + 1)
-    out = q.astype(np.float64) * lsb
-    np.negative(out, where=sign, out=out)
-    return out
+        limit = min(ps.num_planes, len(ps.planes))
+        raise ValueError(f"keep must be in [0, {limit}], got {keep}")
+    dg = kernels.decoded_state(
+        ps.count, ps.exponent, ps.num_planes, ps.planes, keep,
+        workers=workers,
+    )
+    return kernels.prefix_values(dg, keep)

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..parallel.threads import thread_map
 from .bitplane import PlaneSet
 
 __all__ = [
@@ -38,7 +39,9 @@ __all__ = [
     "Component",
     "group_planes",
     "component_to_bytes",
+    "components_to_bytes",
     "component_from_bytes",
+    "components_from_bytes",
     "assemble_planesets",
 ]
 
@@ -64,6 +67,17 @@ class Component:
     def nbytes(self) -> int:
         """Payload size (plane bytes only; the header adds ~10 B/plane)."""
         return sum(len(blob) for _, blob in self.entries)
+
+    @property
+    def serialized_nbytes(self) -> int:
+        """Exact byte length :func:`component_to_bytes` will produce.
+
+        4-byte magic + 6-byte component header, then an 18-byte entry
+        header per plane blob.  Knowing the sizes before serialising is
+        what lets the pipelined prepare path run the fault-tolerance
+        solver while payloads are still being built.
+        """
+        return 10 + sum(18 + len(blob) for _, blob in self.entries)
 
 
 def _ordered_plane_stream(
@@ -182,6 +196,25 @@ def component_to_bytes(comp: Component, planesets: list[PlaneSet]) -> bytes:
         )
         out += blob
     return bytes(out)
+
+
+def components_to_bytes(
+    comps: list[Component],
+    planesets: list[PlaneSet],
+    *,
+    workers: int | None = None,
+) -> list[bytes]:
+    """Serialise every component, fanning the byte assembly over threads."""
+    return thread_map(
+        lambda c: component_to_bytes(c, planesets), comps, workers=workers
+    )
+
+
+def components_from_bytes(
+    payloads: list[bytes], *, workers: int | None = None
+) -> list[tuple[int, list[tuple[PlaneRef, bytes, tuple]]]]:
+    """Parse serialised components, fanning the parsing over threads."""
+    return thread_map(component_from_bytes, payloads, workers=workers)
 
 
 def component_from_bytes(data: bytes) -> tuple[int, list[tuple[PlaneRef, bytes, tuple]]]:

@@ -25,6 +25,34 @@ __all__ = ["relative_linf_error", "MGARD_CONSTANT", "theoretical_bound"]
 MGARD_CONSTANT = 1.0 + np.sqrt(3.0) / 2.0
 
 
+#: Elements per block in the chunked max reductions below; sized so the
+#: difference/abs scratch stays cache-resident instead of allocating
+#: full-array temporaries.
+_ERROR_CHUNK = 1 << 21
+
+
+def _chunked_absmax(a: np.ndarray, b: np.ndarray | None = None) -> float:
+    """max|a| (or max|a - b|) without materialising full-size temps.
+
+    A max of per-block maxima is exactly the global max, so the blocked
+    evaluation is bit-identical to the one-shot expression.
+    """
+    a = a.reshape(-1)
+    if a.size == 0:
+        # Same zero-size ValueError the unchunked np.max raised.
+        return float(np.max(np.abs(a)))
+    out = 0.0
+    if b is None:
+        for lo in range(0, a.size, _ERROR_CHUNK):
+            out = max(out, float(np.max(np.abs(a[lo : lo + _ERROR_CHUNK]))))
+    else:
+        b = b.reshape(-1)
+        for lo in range(0, a.size, _ERROR_CHUNK):
+            hi = lo + _ERROR_CHUNK
+            out = max(out, float(np.max(np.abs(a[lo:hi] - b[lo:hi]))))
+    return out
+
+
 def relative_linf_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
     """Relative L-infinity error of Eq. 3: max|d - d~| / max|d|.
 
@@ -37,10 +65,12 @@ def relative_linf_error(original: np.ndarray, reconstructed: np.ndarray) -> floa
         raise ValueError(
             f"shape mismatch: {original.shape} vs {reconstructed.shape}"
         )
-    denom = float(np.max(np.abs(original)))
+    original = np.ascontiguousarray(original)
+    reconstructed = np.ascontiguousarray(reconstructed)
+    denom = _chunked_absmax(original)
     if denom == 0.0:
-        return 0.0 if float(np.max(np.abs(reconstructed))) == 0.0 else np.inf
-    return float(np.max(np.abs(original - reconstructed))) / denom
+        return 0.0 if _chunked_absmax(reconstructed) == 0.0 else np.inf
+    return _chunked_absmax(original, reconstructed) / denom
 
 
 def theoretical_bound(

@@ -7,19 +7,31 @@ reconstruction errors e1 >> e2 >> ... >> el — and reconstructs an
 approximation of the original array from any prefix of those components.
 These (s_j, e_j) pairs are exactly what the RAPIDS optimisation models in
 :mod:`repro.core` consume.
+
+The heavy stages run on the chunked kernels of
+:mod:`repro.refactor.kernels` and tile over threads (``workers=``, same
+convention as ``ErasureCodec``).  ``measure_errors=True`` no longer
+reconstructs every prefix from scratch: the encoder's own quantised
+magnitudes serve as the decoded state, each prefix is an O(n) bit-mask
+of them, and only the inverse transform runs per component — with the
+zero-detail row skip in :mod:`repro.refactor.transform` making the early
+(mostly-zero) prefixes cheap.  The measured values are bit-identical to
+the from-scratch path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
-from . import bitplane, components, transform
+from ..parallel.threads import default_workers
+from . import bitplane, components, kernels, transform
 from .error_model import relative_linf_error, theoretical_bound
 from .grid import LevelPlan, plan_levels
 
-__all__ = ["Refactorer", "RefactoredObject"]
+__all__ = ["Refactorer", "RefactoredObject", "RefactorStream"]
 
 
 @dataclass
@@ -80,6 +92,26 @@ class RefactoredObject:
         return self.original_nbytes / max(1, self.total_bytes)
 
 
+@dataclass
+class RefactorStream:
+    """A refactored object whose payloads serialise on demand.
+
+    ``sizes`` are the exact serialised byte lengths, known *before* any
+    payload exists — enough for the fault-tolerance solver.  Iterating
+    yields ``(index, payload)`` in progressive order, serialising each
+    component lazily and appending it to ``obj.payloads``, so a consumer
+    can hand component ``j`` to the erasure coder while ``j + 1`` is
+    still being assembled.
+    """
+
+    obj: RefactoredObject
+    sizes: list[int]
+    _gen: Iterator[tuple[int, bytes]]
+
+    def __iter__(self) -> Iterator[tuple[int, bytes]]:
+        return self._gen
+
+
 class Refactorer:
     """Error-controlled progressive refactoring of scientific arrays.
 
@@ -97,6 +129,11 @@ class Refactorer:
         Apply MGARD's L2 projection correction (ablation switch).
     policy / size_ratio:
         Bitplane grouping policy, see :func:`repro.refactor.components.group_planes`.
+    workers:
+        Thread fan-out for the transform tiles, per-plane zlib jobs and
+        component (de)serialisation.  ``None`` means one worker per CPU
+        (like ``ErasureCodec``); every worker count produces bit-identical
+        output.
     """
 
     def __init__(
@@ -108,6 +145,7 @@ class Refactorer:
         correction: bool = True,
         policy: str = "importance",
         size_ratio: float = 4.0,
+        workers: int | None = None,
     ) -> None:
         if num_components < 1:
             raise ValueError("num_components must be >= 1")
@@ -117,6 +155,7 @@ class Refactorer:
         self.correction = correction
         self.policy = policy
         self.size_ratio = size_ratio
+        self.workers = workers if workers is not None else default_workers()
 
     # -- forward path ---------------------------------------------------
 
@@ -126,9 +165,51 @@ class Refactorer:
         """Decompose, bitplane-encode, and regroup ``data``.
 
         ``measure_errors=False`` skips the per-prefix empirical error
-        measurement (one reconstruction per component) and reports only
-        the closed-form bounds; use it on large arrays in benchmarks.
+        measurement and reports only the closed-form bounds; use it on
+        large arrays in benchmarks.  (With measurement on, the cost is
+        one inverse transform per component over incrementally unmasked
+        magnitudes — not a from-scratch decode+reconstruct per prefix.)
         """
+        state = self._encode(data)
+        obj = state["obj"]
+        obj.payloads = components.components_to_bytes(
+            state["comps"], state["planesets"], workers=self.workers
+        )
+        if measure_errors:
+            obj.errors = self._measure_errors(
+                state["data"], obj, state["groups"], state["decoded"],
+                state["kept_after"],
+            )
+        else:
+            obj.errors = list(obj.bounds)
+        return obj
+
+    def refactor_stream(self, data: np.ndarray) -> RefactorStream:
+        """Refactor with lazily-serialised payloads (errors = bounds).
+
+        Semantically equivalent to ``refactor(data,
+        measure_errors=False)`` — identical payload bytes, sizes, bounds
+        — but the exact component sizes are available up front and each
+        payload is serialised only when the stream is consumed, letting
+        the pipeline overlap downstream work (EC encoding) with
+        serialisation.
+        """
+        state = self._encode(data)
+        obj = state["obj"]
+        obj.errors = list(obj.bounds)
+        comps, planesets = state["comps"], state["planesets"]
+        sizes = [c.serialized_nbytes for c in comps]
+
+        def _gen() -> Iterator[tuple[int, bytes]]:
+            for j, comp in enumerate(comps):
+                payload = components.component_to_bytes(comp, planesets)
+                obj.payloads.append(payload)
+                yield j, payload
+
+        return RefactorStream(obj=obj, sizes=sizes, _gen=_gen())
+
+    def _encode(self, data: np.ndarray) -> dict:
+        """Shared forward path up to grouped (unserialised) components."""
         data = np.asarray(data)
         if not np.issubdtype(data.dtype, np.floating):
             raise TypeError(f"expected floating-point data, got {data.dtype}")
@@ -141,7 +222,8 @@ class Refactorer:
             )
         data_max = float(np.max(np.abs(data)))
         mallat, plans = transform.decompose(
-            data, max_levels=self.max_levels, correction=self.correction
+            data, max_levels=self.max_levels, correction=self.correction,
+            workers=self.workers,
         )
         groups = transform.level_flat_indices(plans, data.shape)
         flat = mallat.reshape(-1)
@@ -155,11 +237,13 @@ class Refactorer:
             lsb_exp = global_exp - self.num_planes + 1
         else:
             lsb_exp = None
+        qgs, group_planes_blobs = kernels.encode_groups(
+            flat, groups, self.num_planes, lsb_exponent=lsb_exp,
+            workers=self.workers,
+        )
         planesets = [
-            bitplane.encode_planes(
-                flat[idx], self.num_planes, lsb_exponent=lsb_exp
-            )
-            for idx in groups
+            bitplane.PlaneSet(qg.count, qg.exponent, qg.num_planes, blobs)
+            for qg, blobs in zip(qgs, group_planes_blobs)
         ]
         comps = components.group_planes(
             planesets,
@@ -167,7 +251,6 @@ class Refactorer:
             policy=self.policy,
             size_ratio=self.size_ratio,
         )
-        payloads = [components.component_to_bytes(c, planesets) for c in comps]
 
         # Per-prefix error bounds from the planes each prefix contains.
         bounds = []
@@ -193,21 +276,55 @@ class Refactorer:
             shape=tuple(data.shape),
             dtype=str(data.dtype),
             plans=plans,
-            payloads=payloads,
+            payloads=[],
             errors=[],
             bounds=bounds,
             data_max=data_max,
             correction=self.correction,
             meta={"policy": self.policy, "num_planes": self.num_planes},
         )
-        if measure_errors:
-            obj.errors = [
-                relative_linf_error(data, self.reconstruct(obj, upto=j + 1))
-                for j in range(len(payloads))
-            ]
-        else:
-            obj.errors = list(bounds)
-        return obj
+        return {
+            "data": data,
+            "obj": obj,
+            "groups": groups,
+            "decoded": [qg.decoded() for qg in qgs],
+            "planesets": planesets,
+            "comps": comps,
+            "kept_after": kept_after,
+        }
+
+    def _measure_errors(
+        self,
+        data: np.ndarray,
+        obj: RefactoredObject,
+        groups: list[np.ndarray],
+        decoded: list[kernels.DecodedGroup],
+        kept_after: list[list[int]],
+    ) -> list[float]:
+        """Measured per-prefix errors, incrementally.
+
+        The quantised magnitudes were decoded (or, here, never thrown
+        away) exactly once; prefix ``j`` unmasks the planes component
+        ``j`` added — an O(n) integer mask per touched group — and runs
+        one inverse transform.  Values are bit-identical to
+        ``relative_linf_error(data, reconstruct(obj, upto=j + 1))``.
+        """
+        flat = np.zeros(int(np.prod(obj.shape)), dtype=np.float64)
+        prev = [0] * len(groups)
+        errors: list[float] = []
+        for kept in kept_after:
+            for g, (k_new, k_old) in enumerate(zip(kept, prev)):
+                if k_new != k_old:
+                    flat[groups[g]] = kernels.prefix_values(decoded[g], k_new)
+            prev = kept
+            rec = transform.recompose(
+                flat.reshape(obj.shape), obj.plans,
+                correction=obj.correction, workers=self.workers,
+            )
+            errors.append(
+                relative_linf_error(data, rec.astype(obj.dtype, copy=False))
+            )
+        return errors
 
     @staticmethod
     def _prefix_len(planes_seen: set[int], num_planes: int) -> int:
@@ -240,7 +357,12 @@ class Refactorer:
             raise ValueError(
                 f"upto must be in [1, {len(payloads)}], got {upto}"
             )
-        parsed = [components.component_from_bytes(p)[1] for p in payloads[:upto]]
+        parsed = [
+            entries
+            for _, entries in components.components_from_bytes(
+                payloads[:upto], workers=self.workers
+            )
+        ]
         planesets = components.assemble_planesets(parsed)
         groups = transform.level_flat_indices(obj.plans, obj.shape)
         if len(planesets) < len(groups):
@@ -257,7 +379,19 @@ class Refactorer:
                     f"coefficient count mismatch: payload has {ps.count}, "
                     f"layout expects {idx.size}"
                 )
-            flat[idx] = bitplane.decode_planes(ps, keep=len(ps.planes))
+            if ps.planes:
+                flat[idx] = bitplane.decode_planes(
+                    ps, keep=len(ps.planes), workers=self.workers
+                )
         mallat = flat.reshape(obj.shape)
-        out = transform.recompose(mallat, obj.plans, correction=obj.correction)
+        # With every plane of every group present the zero-detail-line
+        # scan cannot pay off; skip it (output is bitwise identical).
+        dense = all(
+            ps.num_planes > 0 and len(ps.planes) == ps.num_planes
+            for ps in planesets
+        )
+        out = transform.recompose(
+            mallat, obj.plans, correction=obj.correction,
+            workers=self.workers, detect_zero_rows=not dense,
+        )
         return out.astype(obj.dtype, copy=False)

@@ -10,6 +10,7 @@ also accepts.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 __all__ = ["StorageSystem", "StoredFragment", "UnavailableError"]
@@ -59,37 +60,50 @@ class StorageSystem:
     _store: dict[tuple[str, int, int], StoredFragment] = field(
         default_factory=dict, repr=False
     )
+    #: Serialises store mutation against snapshot reads: the pipelined
+    #: preparation path and the threaded tile helpers may place
+    #: fragments from worker threads while another thread iterates
+    #: ``fragments()`` or totals ``used_bytes``.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def put(self, frag: StoredFragment) -> None:
-        """Store a fragment. Refuses while unavailable."""
+        """Store a fragment. Refuses while unavailable. Thread-safe."""
         if not self.available:
             raise UnavailableError(f"system {self.name} is unavailable")
-        self._store[frag.key] = frag
+        with self._lock:
+            self._store[frag.key] = frag
 
     def get(self, object_name: str, level: int, index: int) -> StoredFragment:
         """Fetch a fragment. Raises KeyError if absent, UnavailableError if down."""
         if not self.available:
             raise UnavailableError(f"system {self.name} is unavailable")
-        return self._store[(object_name, level, index)]
+        with self._lock:
+            return self._store[(object_name, level, index)]
 
     def has(self, object_name: str, level: int, index: int) -> bool:
-        return (object_name, level, index) in self._store
+        with self._lock:
+            return (object_name, level, index) in self._store
 
     def delete(self, object_name: str, level: int, index: int) -> None:
         if not self.available:
             raise UnavailableError(f"system {self.name} is unavailable")
-        del self._store[(object_name, level, index)]
+        with self._lock:
+            del self._store[(object_name, level, index)]
 
     def fragments(self) -> list[StoredFragment]:
         """All resident fragments (available systems only)."""
         if not self.available:
             raise UnavailableError(f"system {self.name} is unavailable")
-        return list(self._store.values())
+        with self._lock:
+            return list(self._store.values())
 
     @property
     def used_bytes(self) -> int:
         """Total bytes resident (counted even while unavailable)."""
-        return sum(f.nbytes for f in self._store.values())
+        with self._lock:
+            return sum(f.nbytes for f in self._store.values())
 
     def fail(self) -> None:
         """Take the system down (outage or scheduled maintenance)."""

@@ -83,6 +83,46 @@ class TestPrepare:
         res = rapids.restore("obj", strategy="naive")  # ...yet data is whole
         assert res.levels_used == 4
 
+    def test_pipelined_prepare_matches_default_path(self, rapids, tmp_path):
+        data = smooth_field()
+        rep = rapids.prepare("obj", data, measure_errors=False)
+        assert set(rep.timings) == {
+            "read", "refactor", "ft_optimize", "ec_encode", "write", "metadata",
+        }
+        # errors are the closed-form bounds on this path
+        assert rep.level_errors == sorted(rep.level_errors, reverse=True)
+
+        cluster2 = StorageCluster(paper_bandwidth_profile(16))
+        catalog2 = MetadataCatalog(tmp_path / "meta2")
+        other = RAPIDS(cluster2, catalog2, refactorer=Refactorer(4), omega=0.25)
+        rep2 = other.prepare("obj", data, measure_errors=True)
+        # identical payload bytes => identical sizes and FT config
+        assert rep.level_sizes == rep2.level_sizes
+        assert rep.ft_config == rep2.ft_config
+
+        a = rapids.restore("obj", strategy="naive")
+        b = other.restore("obj", strategy="naive")
+        assert a.data.tobytes() == b.data.tobytes()
+        catalog2.close()
+
+    def test_refactor_workers_knob(self, tmp_path):
+        cluster = StorageCluster(paper_bandwidth_profile(8))
+        catalog = MetadataCatalog(tmp_path / "meta")
+        system = RAPIDS(cluster, catalog, refactor_workers=3)
+        assert system.refactorer.workers == 3
+        assert system.refactor_workers == 3
+        # an explicit refactorer keeps its own setting...
+        ref = Refactorer(4, workers=2)
+        system2 = RAPIDS(cluster, catalog, refactorer=ref)
+        assert system2.refactorer.workers == 2
+        # ...unless refactor_workers is also given explicitly
+        system3 = RAPIDS(
+            cluster, catalog, refactorer=Refactorer(4, workers=2),
+            refactor_workers=5,
+        )
+        assert system3.refactorer.workers == 5
+        catalog.close()
+
     def test_fragment_files_written(self, rapids, tmp_path):
         rapids.prepare("a:b", smooth_field(n=17), fragment_dir=tmp_path / "frags")
         files = list((tmp_path / "frags").glob("*.rdc"))

@@ -360,6 +360,64 @@ class TestUnlockedGlobalCache:
         )
         assert findings == []
 
+    def test_positive_dict_subscript_fill(self):
+        findings = lint(
+            """
+            _CACHE = {}
+            def table(n):
+                if n not in _CACHE:
+                    _CACHE[n] = build(n)
+                return _CACHE[n]
+            """,
+            select=["RPD110"],
+        )
+        assert rule_ids(findings) == ["RPD110"]
+
+    def test_positive_dict_get_fill(self):
+        findings = lint(
+            """
+            _CACHE = {}
+            def table(n):
+                hit = _CACHE.get(n)
+                if hit is None:
+                    _CACHE[n] = hit = build(n)
+                return hit
+            """,
+            select=["RPD110"],
+        )
+        assert rule_ids(findings) == ["RPD110"]
+
+    def test_negative_dict_fill_under_lock(self):
+        findings = lint(
+            """
+            import threading
+            _CACHE = {}
+            _LOCK = threading.Lock()
+            def table(n):
+                if n not in _CACHE:
+                    with _LOCK:
+                        if n not in _CACHE:
+                            _CACHE[n] = build(n)
+                return _CACHE[n]
+            """,
+            select=["RPD110"],
+        )
+        assert findings == []
+
+    def test_negative_dict_fill_without_membership_check(self):
+        # Registry pattern: unconditional subscript assignment with no
+        # get/containment check first is not fill-on-first-use.
+        findings = lint(
+            """
+            _REGISTRY = {}
+            def register(name, value):
+                _REGISTRY[name] = value
+                return value
+            """,
+            select=["RPD110"],
+        )
+        assert findings == []
+
 
 class TestSuppressions:
     DIRTY = "def f(x, acc=[]):  # rapidslint: disable=RPD107 -- test fixture\n    return acc\n"

@@ -1,0 +1,365 @@
+"""Tests for the chunked refactoring kernels and their parallel paths.
+
+The overhauled pipeline promises three things this module pins down:
+
+1. *Bit-identity across worker counts* — every stage (quantise, plane
+   coding, transform tiling, full refactor) produces byte-identical
+   output for any ``workers`` value.
+2. *Bit-identity with the original serial algorithms* — compact
+   reference implementations of the seed's per-plane loops live in this
+   file and every blob/value is compared exactly.
+3. *Incremental error measurement is exact* — the masked-prefix path
+   matches a from-scratch reconstruction per prefix, bit for bit.
+"""
+
+import os
+import struct
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.threads import balanced_spans
+from repro.refactor import Refactorer, relative_linf_error
+from repro.refactor.bitplane import PlaneSet, decode_planes, encode_planes
+from repro.refactor import components, kernels, transform
+
+
+def smooth_field(shape, seed=0, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    axes = np.meshgrid(*[np.linspace(0, 1, n) for n in shape], indexing="ij")
+    u = np.zeros(shape)
+    for k in (1, 3):
+        ph = rng.uniform(0, 2 * np.pi, len(shape))
+        term = np.ones(shape)
+        for d, ax in enumerate(axes):
+            term = term * np.sin(2 * np.pi * k * ax + ph[d])
+        u += term / k
+    u += 0.01 * rng.standard_normal(shape)
+    return u.astype(dtype)
+
+
+# -- reference implementations (the seed's serial per-plane loops) ------
+
+
+def _ref_encode(coeffs, num_planes=32, *, lsb_exponent=None):
+    """The original serial embedded-sign bitplane encoder, verbatim math."""
+    coeffs = np.ascontiguousarray(coeffs, dtype=np.float64).reshape(-1)
+    count = coeffs.size
+    if count == 0:
+        return PlaneSet(0, 0, 0, [])
+    amax = float(np.max(np.abs(coeffs)))
+    exponent = 0 if (amax == 0.0 or not np.isfinite(amax)) else int(
+        np.floor(np.log2(amax))
+    )
+    if lsb_exponent is not None:
+        num_planes = exponent - lsb_exponent + 1
+        if num_planes < 1:
+            return PlaneSet(count, exponent, 0, [])
+    num_planes = min(num_planes, exponent + 1022)
+    if num_planes < 1:
+        return PlaneSet(count, exponent, 0, [])
+    sign = coeffs < 0
+    lsb = 2.0 ** (exponent - num_planes + 1)
+    q = np.round(np.abs(coeffs) / lsb).astype(np.uint64)
+    q = np.minimum(q, np.uint64(2**num_planes - 1))
+
+    def deflate(payload):
+        z = zlib.compress(payload, level=6)
+        return b"\x01" + z if len(z) < len(payload) else b"\x00" + payload
+
+    planes = []
+    seen = np.zeros(count, dtype=bool)
+    for i in range(num_planes):
+        shift = np.uint64(num_planes - 1 - i)
+        bits = ((q >> shift) & np.uint64(1)).astype(bool)
+        new = bits & ~seen
+        seen |= bits
+        bits_blob = deflate(np.packbits(bits).tobytes())
+        sign_blob = deflate(np.packbits(sign[new]).tobytes())
+        planes.append(struct.pack("<I", len(bits_blob)) + bits_blob + sign_blob)
+    return PlaneSet(count, exponent, num_planes, planes)
+
+
+def _ref_decode(ps, keep=None):
+    """The original serial plane-at-a-time decoder, verbatim math."""
+    if ps.count == 0:
+        return np.zeros(0, dtype=np.float64)
+    if keep is None:
+        keep = len(ps.planes)
+
+    def inflate(blob):
+        return zlib.decompress(blob[1:]) if blob[:1] == b"\x01" else blob[1:]
+
+    def unpack(blob, count):
+        raw = np.frombuffer(inflate(blob), dtype=np.uint8)
+        return np.unpackbits(raw, count=count).astype(bool)
+
+    q = np.zeros(ps.count, dtype=np.uint64)
+    sign = np.zeros(ps.count, dtype=bool)
+    seen = np.zeros(ps.count, dtype=bool)
+    for i in range(keep):
+        (blen,) = struct.unpack_from("<I", ps.planes[i], 0)
+        bits_blob = ps.planes[i][4 : 4 + blen]
+        sign_blob = ps.planes[i][4 + blen :]
+        bits = unpack(bits_blob, ps.count)
+        new = bits & ~seen
+        nnew = int(new.sum())
+        if nnew:
+            sign[new] = unpack(sign_blob, nnew)
+        seen |= bits
+        q |= bits.astype(np.uint64) << np.uint64(ps.num_planes - 1 - i)
+    lsb = 2.0 ** (ps.exponent - ps.num_planes + 1)
+    out = q.astype(np.float64) * lsb
+    np.negative(out, where=sign, out=out)
+    return out
+
+
+# -- bit-identity: new kernels vs the reference loops -------------------
+
+
+class TestSeedEquivalence:
+    @pytest.mark.parametrize("num_planes", [1, 7, 22, 32, 48])
+    @pytest.mark.parametrize("size", [1, 5, 100, 4096, 10_000])
+    def test_encode_blobs_match_reference(self, num_planes, size):
+        rng = np.random.default_rng(size * 100 + num_planes)
+        c = rng.normal(size=size) * 2.0 ** rng.integers(-8, 8)
+        ps_new = encode_planes(c, num_planes=num_planes)
+        ps_ref = _ref_encode(c, num_planes=num_planes)
+        assert (ps_new.count, ps_new.exponent, ps_new.num_planes) == (
+            ps_ref.count, ps_ref.exponent, ps_ref.num_planes,
+        )
+        assert ps_new.planes == ps_ref.planes
+
+    def test_encode_blobs_match_reference_anchored(self):
+        rng = np.random.default_rng(3)
+        c = rng.normal(size=3000) * 1e-4
+        for lsb_exp in (-40, -20, -10, 0, 5):
+            ps_new = encode_planes(c, lsb_exponent=lsb_exp)
+            ps_ref = _ref_encode(c, lsb_exponent=lsb_exp)
+            assert ps_new.planes == ps_ref.planes
+            assert ps_new.num_planes == ps_ref.num_planes
+
+    @pytest.mark.parametrize("keep", [0, 1, 5, 16, 24])
+    def test_decode_matches_reference(self, keep):
+        rng = np.random.default_rng(keep)
+        c = rng.normal(size=2000)
+        ps = encode_planes(c, num_planes=24)
+        got = decode_planes(ps, keep=keep)
+        want = _ref_decode(ps, keep=keep)
+        assert got.tobytes() == want.tobytes()
+
+    def test_chunked_extraction_crosses_chunk_boundaries(self):
+        # Force many tiny chunks so span stitching is exercised.
+        rng = np.random.default_rng(7)
+        c = rng.normal(size=1000)
+        qg_small = kernels.quantise(c, 20, workers=4, chunk=64)
+        qg_big = kernels.quantise(c, 20, workers=1)
+        assert qg_small.packed.tobytes() == qg_big.packed.tobytes()
+        assert np.array_equal(qg_small.lead, qg_big.lead)
+        assert np.array_equal(qg_small.q, qg_big.q)
+
+
+# -- bit-identity: threaded vs serial -----------------------------------
+
+
+class TestWorkerInvariance:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_encode_decode_planes(self, dtype):
+        rng = np.random.default_rng(11)
+        c = rng.normal(size=5000).astype(dtype)
+        ps1 = encode_planes(c, num_planes=26, workers=1)
+        ps4 = encode_planes(c, num_planes=26, workers=4)
+        assert ps1.planes == ps4.planes
+        for keep in (0, 3, 13, 26):
+            a = decode_planes(ps1, keep=keep, workers=1)
+            b = decode_planes(ps4, keep=keep, workers=4)
+            assert a.tobytes() == b.tobytes()
+
+    @pytest.mark.parametrize("shape", [(65,), (33, 40), (17, 19, 23)])
+    def test_transform_tiling(self, shape):
+        u = smooth_field(shape, seed=5)
+        m1, p1 = transform.decompose(u, workers=1)
+        m4, p4 = transform.decompose(u, workers=4)
+        assert p1 == p4
+        assert m1.tobytes() == m4.tobytes()
+        r1 = transform.recompose(m1, p1, workers=1)
+        r4 = transform.recompose(m4, p4, workers=4)
+        assert r1.tobytes() == r4.tobytes()
+
+    def test_transform_tiling_small_rows_forced(self, monkeypatch):
+        # Shrink the tile threshold so even tiny arrays actually tile.
+        monkeypatch.setattr(transform, "_MIN_TILE_ROWS", 2)
+        u = smooth_field((21, 22), seed=9)
+        m1, p1 = transform.decompose(u, workers=1)
+        m4, _ = transform.decompose(u, workers=4)
+        assert m1.tobytes() == m4.tobytes()
+        assert (
+            transform.recompose(m1, p1, workers=1).tobytes()
+            == transform.recompose(m1, p1, workers=4).tobytes()
+        )
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_full_refactorer(self, dtype):
+        data = smooth_field((25, 26, 27), seed=2, dtype=dtype)
+        obj1 = Refactorer(4, num_planes=24, workers=1).refactor(data)
+        obj4 = Refactorer(4, num_planes=24, workers=4).refactor(data)
+        assert obj1.payloads == obj4.payloads
+        assert obj1.errors == obj4.errors
+        assert obj1.bounds == obj4.bounds
+        r1 = Refactorer(4, workers=1).reconstruct(obj1)
+        r4 = Refactorer(4, workers=4).reconstruct(obj4)
+        assert r1.tobytes() == r4.tobytes()
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False, width=64),
+            min_size=1, max_size=300,
+        ),
+        planes=st.integers(1, 40),
+        workers=st.integers(2, 6),
+    )
+    def test_roundtrip_property_any_workers(self, values, planes, workers):
+        c = np.array(values)
+        ps_s = encode_planes(c, num_planes=planes, workers=1)
+        ps_p = encode_planes(c, num_planes=planes, workers=workers)
+        assert ps_s.planes == ps_p.planes
+        a = decode_planes(ps_s, workers=1)
+        b = decode_planes(ps_p, workers=workers)
+        assert a.tobytes() == b.tobytes()
+
+    def test_threaded_pipeline_under_sanitizer(self, monkeypatch):
+        monkeypatch.setenv("RAPIDS_THREAD_SANITIZER", "1")
+        data = smooth_field((22, 23, 24), seed=4)
+        obj = Refactorer(3, num_planes=20, workers=4).refactor(data)
+        rec = Refactorer(3, workers=4).reconstruct(obj)
+        assert relative_linf_error(data, rec) <= obj.errors[-1] + 1e-12
+
+
+# -- incremental prefix error measurement --------------------------------
+
+
+class TestIncrementalErrors:
+    @pytest.mark.parametrize("num_components", [2, 4, 6])
+    def test_matches_from_scratch_reconstruction(self, num_components):
+        data = smooth_field((30, 31, 29), seed=8)
+        ref = Refactorer(num_components, num_planes=24)
+        obj = ref.refactor(data, measure_errors=True)
+        for j in range(num_components):
+            rec = ref.reconstruct(obj, upto=j + 1)
+            fresh = relative_linf_error(data, rec)
+            assert obj.errors[j] == fresh
+
+    def test_prefix_values_match_fresh_decode(self):
+        rng = np.random.default_rng(13)
+        c = rng.normal(size=3000)
+        ps = encode_planes(c, num_planes=28)
+        qg = kernels.quantise(c, 28)
+        dg = qg.decoded()
+        for keep in (0, 1, 9, 17, 28):
+            masked = kernels.prefix_values(dg, keep)
+            fresh = decode_planes(ps, keep=keep)
+            assert masked.tobytes() == fresh.tobytes()
+
+
+# -- the fixed decode_planes validation (satellite) ----------------------
+
+
+class TestDecodeValidation:
+    def test_bad_keep_message_names_valid_range(self):
+        c = np.arange(1.0, 9.0)
+        ps = encode_planes(c, num_planes=12)
+        with pytest.raises(ValueError, match=r"keep must be in \[0, 12\], got 13"):
+            decode_planes(ps, keep=13)
+        with pytest.raises(ValueError, match=r"keep must be in \[0, 12\], got -1"):
+            decode_planes(ps, keep=-1)
+
+    def test_bad_keep_limited_by_present_planes(self):
+        c = np.arange(1.0, 9.0)
+        full = encode_planes(c, num_planes=12)
+        partial = PlaneSet(full.count, full.exponent, full.num_planes,
+                           full.planes[:5])
+        with pytest.raises(ValueError, match=r"keep must be in \[0, 5\], got 7"):
+            decode_planes(partial, keep=7)
+
+
+# -- supporting machinery ------------------------------------------------
+
+
+class TestBalancedSpans:
+    def test_partition_and_determinism(self):
+        for n in (0, 1, 7, 64, 1000):
+            for parts in (1, 3, 8, 2000):
+                spans = balanced_spans(n, parts)
+                assert spans == balanced_spans(n, parts)
+                assert spans[0][0] == 0
+                covered = [i for lo, hi in spans for i in range(lo, hi)]
+                assert covered == list(range(n))
+                widths = [hi - lo for lo, hi in spans]
+                assert max(widths) - min(widths) <= 1
+
+
+class TestComponentsThreading:
+    def _planesets(self):
+        rng = np.random.default_rng(17)
+        return [
+            encode_planes(rng.normal(size=200) * 2.0**e, num_planes=16)
+            for e in (0, -3, -6)
+        ]
+
+    def test_serialized_nbytes_exact(self):
+        planesets = self._planesets()
+        comps = components.group_planes(planesets, 3)
+        for comp in comps:
+            blob = components.component_to_bytes(comp, planesets)
+            assert comp.serialized_nbytes == len(blob)
+
+    def test_threaded_roundtrip_identical(self):
+        planesets = self._planesets()
+        comps = components.group_planes(planesets, 3)
+        ser1 = components.components_to_bytes(comps, planesets, workers=1)
+        ser4 = components.components_to_bytes(comps, planesets, workers=4)
+        assert ser1 == ser4
+        par1 = components.components_from_bytes(ser1, workers=1)
+        par4 = components.components_from_bytes(ser1, workers=4)
+        assert par1 == par4
+
+
+class TestRefactorStream:
+    def test_matches_refactor_without_measurement(self):
+        data = smooth_field((24, 25, 26), seed=21)
+        ref = Refactorer(4, num_planes=22)
+        obj = ref.refactor(data, measure_errors=False)
+        stream = ref.refactor_stream(data)
+        assert stream.sizes == obj.sizes
+        assert stream.obj.errors == obj.errors
+        assert stream.obj.bounds == obj.bounds
+        consumed = []
+        for j, payload in stream:
+            assert len(payload) == stream.sizes[j]
+            consumed.append(payload)
+        assert consumed == obj.payloads
+        assert stream.obj.payloads == obj.payloads
+
+    def test_sizes_known_before_serialisation(self):
+        data = smooth_field((20, 21), seed=22)
+        stream = Refactorer(3, num_planes=20).refactor_stream(data)
+        assert len(stream.sizes) == 3
+        assert stream.obj.payloads == []  # nothing serialised yet
+        next(iter(stream))
+        assert len(stream.obj.payloads) == 1
+
+
+class TestLevelIndexCache:
+    def test_cache_returns_equal_arrays_and_is_reused(self):
+        data = smooth_field((17, 18, 19), seed=23)
+        _, plans = transform.decompose(data)
+        a = transform.level_flat_indices(plans, data.shape)
+        b = transform.level_flat_indices(plans, data.shape)
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert x is y  # cached arrays are shared...
+            assert not x.flags.writeable  # ...and frozen

@@ -116,3 +116,36 @@ class TestTileRefactoring:
         )
         ref = data[0:18, 0:18, 0:18]
         assert relative_linf_error(ref, lossy) > relative_linf_error(ref, exact)
+
+
+class TestTileWorkers:
+    def test_threaded_tiles_bit_identical(self):
+        data = field()
+        grid = TileGrid.regular(data.shape, 3)
+        ref = Refactorer(3, num_planes=24, workers=1)
+        t1 = tile_refactor(data, grid, refactorer=ref, workers=1)
+        t4 = tile_refactor(data, grid, refactorer=ref, workers=4)
+        for key in t1:
+            assert t1[key].payloads == t4[key].payloads
+        out1 = tile_reconstruct(t1, grid, refactorer=Refactorer(3), workers=1)
+        out4 = tile_reconstruct(t1, grid, refactorer=Refactorer(3), workers=4)
+        assert out1.tobytes() == out4.tobytes()
+        roi = ((2, 20), (7, 31), (0, 15))
+        a, na = tile_reconstruct_roi(
+            t1, grid, roi, refactorer=Refactorer(3), workers=1
+        )
+        b, nb = tile_reconstruct_roi(
+            t1, grid, roi, refactorer=Refactorer(3), workers=4
+        )
+        assert (na, nb) == (na, na)
+        assert a.tobytes() == b.tobytes()
+
+    def test_threaded_tiles_under_sanitizer(self, monkeypatch):
+        monkeypatch.setenv("RAPIDS_THREAD_SANITIZER", "1")
+        data = field()
+        grid = TileGrid.regular(data.shape, 2)
+        tiles = tile_refactor(
+            data, grid, refactorer=Refactorer(3, num_planes=24), workers=4
+        )
+        back = tile_reconstruct(tiles, grid, refactorer=Refactorer(3), workers=4)
+        assert relative_linf_error(data, back) < 1e-4
