@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-sanitized lint bench bench-assert bench-smoke bench-refactor examples tables figures all clean
+.PHONY: install test test-sanitized lint chaos chaos-soak bench bench-assert bench-smoke bench-refactor examples tables figures all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,6 +19,22 @@ test-sanitized:
 # Fails on any non-suppressed finding; suppressions need justifications.
 lint:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.cli lint src tests benchmarks examples
+
+# One seeded chaos round (RAPIDS_CHAOS_SEED, default 7) plus the
+# fault-injection test files, thread sanitizer on — what CI's chaos job
+# runs per seed.
+chaos:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} RAPIDS_THREAD_SANITIZER=1 \
+		$(PYTHON) -m pytest tests/test_chaos.py \
+		tests/test_kvstore_stateful.py tests/test_integration_chaos.py
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.cli \
+		chaos --seed $${RAPIDS_CHAOS_SEED:-7} --verify-replay || test $$? -eq 2
+
+# Time-boxed randomised soak (RAPIDS_CHAOS_SOAK_SECONDS, default 60).
+# Opt-in only: the soak is excluded from tier-1 by its env-var gate.
+chaos-soak:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} RAPIDS_CHAOS_SOAK=1 \
+		$(PYTHON) -m pytest tests/test_chaos.py::test_chaos_soak -v
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -14,6 +14,7 @@ Public entry points::
     from repro.transfer import paper_bandwidth_profile
 """
 
+from .chaos import DegradedRestore, FaultInjector, FaultPlan, FaultSpec, RetryPolicy
 from .core import RAPIDS, DuplicationMethod, PlainECMethod
 from .ec import ErasureCodec, RSCode
 from .metadata import MetadataCatalog
@@ -33,5 +34,10 @@ __all__ = [
     "MetadataCatalog",
     "DuplicationMethod",
     "PlainECMethod",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "RetryPolicy",
+    "DegradedRestore",
     "__version__",
 ]

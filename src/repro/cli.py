@@ -8,6 +8,7 @@ Subcommands::
     rapids estimate-bandwidth               synthesize logs + estimate (§5.1.2)
     rapids info <dir>                       describe a refactored object
     rapids lint [paths...]                  run the rapidslint static analyzer
+    rapids chaos                            replay a fault plan end to end
 
 The CLI operates on a simple on-disk layout: ``<dir>/component-XX.bin``
 plus a ``manifest`` container holding the reconstruction metadata.
@@ -217,6 +218,107 @@ def _cmd_lint(args) -> int:
     return run_lint(args.paths, select=select, fmt=args.format)
 
 
+def _chaos_round(plan, *, size: int, systems: int, strategy: str) -> dict:
+    """One prepare → inject → restore round under ``plan``.
+
+    Preparation runs clean (the round needs a healthy object to attack);
+    the injector and its outages are applied before restore.  Returns a
+    JSON-able outcome dict whose bytes depend only on ``(seed, plan)`` —
+    the replay-verification contract.
+    """
+    import hashlib
+    import tempfile
+
+    from .chaos import FaultInjector
+    from .core import RAPIDS
+    from .metadata import MetadataCatalog
+    from .storage import StorageCluster
+    from .transfer import paper_bandwidth_profile
+
+    rng = np.random.default_rng(plan.seed)
+    data = rng.standard_normal((size, size, size)).astype(np.float32)
+    cluster = StorageCluster(paper_bandwidth_profile(systems))
+    with tempfile.TemporaryDirectory() as tmp:
+        with MetadataCatalog(Path(tmp) / "meta") as catalog:
+            rapids = RAPIDS(cluster, catalog, ec_workers=1)
+            rapids.prepare("chaos:demo", data)
+            injector = FaultInjector(plan).install(rapids)
+            outages = injector.apply_outages(cluster)
+            report = rapids.restore("chaos:demo", strategy=strategy)
+    digest = (
+        hashlib.sha256(report.data.tobytes()).hexdigest()
+        if report.data is not None
+        else None
+    )
+    return {
+        "seed": plan.seed,
+        "outages": outages,
+        "levels_used": report.levels_used,
+        "achieved_error": report.achieved_error,
+        "data_sha256": digest,
+        "degraded": (
+            report.degraded.to_dict() if report.degraded is not None else None
+        ),
+        "injected": injector.summary(),
+    }
+
+
+def _cmd_chaos(args) -> int:
+    from .chaos import FaultPlan
+
+    if args.plan:
+        plan = FaultPlan.load(args.plan)
+        if args.seed is not None:
+            plan = plan.with_seed(args.seed)
+        plan_path = args.plan
+    else:
+        plan = FaultPlan.random(
+            args.seed if args.seed is not None else 0,
+            n_systems=args.systems,
+            intensity=args.intensity,
+        )
+        plan_path = None
+    if args.emit_plan:
+        plan.save(args.emit_plan)
+        plan_path = args.emit_plan
+
+    outcome = _chaos_round(
+        plan, size=args.size, systems=args.systems, strategy=args.strategy
+    )
+    if args.verify_replay:
+        again = _chaos_round(
+            plan, size=args.size, systems=args.systems, strategy=args.strategy
+        )
+        if json.dumps(outcome, sort_keys=True) != json.dumps(again, sort_keys=True):
+            print("REPLAY MISMATCH: identical (seed, plan) produced "
+                  "different outcomes", file=sys.stderr)
+            return 3
+
+    if args.json:
+        print(json.dumps(outcome, indent=2, sort_keys=True))
+    else:
+        print(f"plan: {plan.describe()}")
+        print(f"  outages: {outcome['outages'] or 'none'}")
+        for key, count in sorted(outcome["injected"].items()):
+            print(f"  injected {key} x{count}")
+        print(f"  levels restored: {outcome['levels_used']} "
+              f"(error bound {outcome['achieved_error']:.3e})")
+        if outcome["degraded"] is not None:
+            for fail in outcome["degraded"]["failures"]:
+                print(f"  FAILED level {fail['level']} "
+                      f"[{fail['stage']}]: {fail['error']}")
+        if args.verify_replay:
+            print("  replay verified: identical outcome on second run")
+        if plan_path:
+            print(f"replay with: rapids chaos --plan {plan_path}")
+        else:
+            print("replay with: rapids chaos "
+                  f"--seed {plan.seed} --intensity {args.intensity} "
+                  f"--systems {args.systems} (or --emit-plan to save it)")
+    clean = outcome["degraded"] is None and outcome["data_sha256"] is not None
+    return 0 if clean else 2
+
+
 def _cmd_estimate_bandwidth(args) -> int:
     records, _ = generate_transfer_logs(
         num_endpoints=args.endpoints, seed=args.seed
@@ -282,6 +384,29 @@ def build_parser() -> argparse.ArgumentParser:
     ln.add_argument("--list-rules", action="store_true",
                     help="print the rule registry and exit")
     ln.set_defaults(func=_cmd_lint)
+
+    ch = sub.add_parser(
+        "chaos",
+        help="run a seeded fault-injection round (prepare → inject → restore)",
+    )
+    ch.add_argument("--seed", type=int, default=None,
+                    help="plan seed (default 0; overrides a loaded plan's)")
+    ch.add_argument("--plan", default=None,
+                    help="JSON fault plan to replay (default: a random plan)")
+    ch.add_argument("--emit-plan", default=None,
+                    help="write the effective plan to this JSON file")
+    ch.add_argument("--systems", type=int, default=16)
+    ch.add_argument("--intensity", type=float, default=0.15,
+                    help="random-plan fault density in [0, 1]")
+    ch.add_argument("--size", type=int, default=33,
+                    help="edge length of the synthetic 3-D test field")
+    ch.add_argument("--strategy", default="naive",
+                    choices=["random", "naive", "optimized"])
+    ch.add_argument("--verify-replay", action="store_true",
+                    help="run the round twice and require identical outcomes")
+    ch.add_argument("--json", action="store_true",
+                    help="print the outcome as JSON")
+    ch.set_defaults(func=_cmd_chaos)
 
     b = sub.add_parser("estimate-bandwidth",
                        help="synthesize Globus logs and estimate bandwidths")

@@ -11,19 +11,26 @@ per-operation breakdowns fall out of the reports.
 
 from __future__ import annotations
 
+import struct
 import time
+import zlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
+from ..chaos.degraded import DegradedRestore, LevelFailure
+from ..chaos.injector import InjectedFault
+from ..chaos.retry import RetryPolicy
 from ..ec import ECConfig, ErasureCodec
 from ..formats import crc32, write_fragment_file
 from ..metadata import FragmentRecord, MetadataCatalog, ObjectRecord
+from ..metadata.kvstore import CorruptionError
 from ..parallel.threads import default_workers, thread_map
 from ..refactor import Refactorer
 from ..storage import StorageCluster
+from ..storage.system import UnavailableError
 from ..transfer import phase_latency, refactored_distribution
 from .availability import expected_relative_error, refactored_storage_overhead
 from .ft_optimizer import FTProblem, FTSolution, heuristic
@@ -37,6 +44,30 @@ from .gathering import (
 )
 
 __all__ = ["RAPIDS", "PrepareReport", "RestoreReport"]
+
+#: Failure classes graceful degradation may absorb per level: injected
+#: faults, outages, missing/corrupt fragments and records, and the
+#: decode/deserialisation errors a corrupt payload can surface as.
+#: Anything outside this tuple (a genuine programming error) propagates.
+_DEGRADABLE = (
+    InjectedFault,
+    UnavailableError,
+    CorruptionError,
+    KeyError,
+    ValueError,
+    OSError,
+    RuntimeError,
+    struct.error,
+    zlib.error,
+)
+
+#: Errors a single fragment fetch may fail with; each such fragment is
+#: treated as an erasure and replaced from a spare system.
+_FETCH_ERRORS = (KeyError, ValueError, OSError, RuntimeError)
+
+
+class _CorruptFragment(RuntimeError):
+    """A fetched fragment failed its metadata checksum."""
 
 
 @dataclass
@@ -60,7 +91,12 @@ class PrepareReport:
 
 @dataclass
 class RestoreReport:
-    """Result of the restoration phase."""
+    """Result of the restoration phase.
+
+    ``degraded`` is ``None`` for a clean restore; under faults it is the
+    :class:`~repro.chaos.DegradedRestore` report describing what failed,
+    what was retried, and which level prefix was actually delivered.
+    """
 
     name: str
     data: np.ndarray | None
@@ -68,6 +104,7 @@ class RestoreReport:
     achieved_error: float
     gathering_latency: float
     timings: dict[str, float] = field(default_factory=dict)
+    degraded: DegradedRestore | None = None
 
     @property
     def total_time(self) -> float:
@@ -113,6 +150,8 @@ class RAPIDS:
         p: float = 0.01,
         ec_workers: int | None = None,
         refactor_workers: int | None = None,
+        injector=None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.cluster = cluster
         self.catalog = catalog
@@ -127,6 +166,23 @@ class RAPIDS:
         self.p = p
         self.ec_workers = ec_workers if ec_workers is not None else default_workers()
         self.codec = ErasureCodec(cluster.n)
+        #: Per-fetch retry policy used by restoration; base=0 keeps the
+        #: retries immediate (there is no simulated clock on this path).
+        self.retry_policy = retry_policy or RetryPolicy(max_attempts=3, base=0.0)
+        self.injector = None
+        if injector is not None:
+            self.attach_injector(injector)
+
+    def attach_injector(self, injector) -> None:
+        """Attach (or clear) a chaos injector on the whole stack: the
+        storage cluster, the metadata store, the codec, and the pipeline's
+        own phase-boundary checks (sites ``pipeline.prepare``/``restore``)."""
+        self.injector = injector
+        self.cluster.attach_injector(injector)
+        attach = getattr(self.catalog, "attach_injector", None)
+        if attach is not None:
+            attach(injector)
+        self.codec.attach_injector(injector)
 
     # -- preparation phase -------------------------------------------------
 
@@ -161,6 +217,8 @@ class RAPIDS:
         accounted under ``ec_encode`` (the window it overlaps).
         """
         timings: dict[str, float] = {}
+        if self.injector is not None:
+            self.injector.check("pipeline.prepare", name=name)
 
         t0 = time.perf_counter()
         data = np.ascontiguousarray(data)
@@ -373,6 +431,7 @@ class RAPIDS:
         charged_solver_time: float | None = None,
         seed: int | None = 0,
         target_error: float | None = None,
+        degrade: bool = True,
     ) -> RestoreReport:
         """Run the restoration phase against the cluster's current failures.
 
@@ -384,16 +443,49 @@ class RAPIDS:
         level prefix whose recorded error meets the target is gathered,
         saving the (dominant) lower-level transfer bytes when the
         analysis tolerates a looser accuracy.
+
+        ``degrade`` (the default) turns fault-driven failures into
+        graceful degradation: when faults exceed a level's tolerance
+        ``m_j``, restore delivers the deepest still-recoverable level
+        prefix with its recorded error bound and attaches a structured
+        :class:`~repro.chaos.DegradedRestore` report instead of raising.
+        ``degrade=False`` restores raise-on-failure behaviour.  A missing
+        object always raises :class:`KeyError` — that is a caller error,
+        not a fault.
         """
         timings: dict[str, float] = {}
-        rec = self.catalog.get_object(name)
+        failures: list[LevelFailure] = []
+        faults_before = len(self.injector.log) if self.injector is not None else 0
+        if target_error is not None and target_error <= 0:
+            raise ValueError("target_error must be positive")
+
+        try:
+            if self.injector is not None:
+                self.injector.check("pipeline.restore", name=name)
+        except InjectedFault as exc:
+            if not degrade:
+                raise
+            failures.append(LevelFailure(-1, "pipeline", repr(exc)))
+            return self._degraded_empty(name, failures, faults_before)
+
+        meta = self.retry_policy.call(
+            lambda: self.catalog.get_object(name),
+            retry_on=(RuntimeError, OSError),
+        )
+        if not meta.ok:
+            if not degrade:
+                raise meta.error
+            failures.append(
+                LevelFailure(-1, "metadata", repr(meta.error),
+                             attempts=meta.attempts, retried=meta.retried)
+            )
+            return self._degraded_empty(name, failures, faults_before)
+        rec = meta.value
         failed = self.cluster.failed_ids()
         n = self.cluster.n
 
         levels = recoverable_levels(rec.ft_config, failed, n)
         if target_error is not None and levels:
-            if target_error <= 0:
-                raise ValueError("target_error must be positive")
             needed = next(
                 (
                     j + 1
@@ -417,33 +509,66 @@ class RAPIDS:
         timings["gather_optimize"] = time.perf_counter() - t0
         # §4.3: record each selected transfer's (simulated) throughput so
         # future gathering optimisations adapt to bandwidth variation.
-        self._record_throughputs(outcome)
+        # The telemetry is advisory — a metadata fault while recording it
+        # must not take down the data path.
+        try:
+            self._record_throughputs(outcome)
+        except _DEGRADABLE:
+            if not degrade:
+                raise
 
         t0 = time.perf_counter()
-        gathered = self._gather(name, outcome, rec)
+        level_ids = sorted(outcome.levels_included)
+        gathered: dict[int, dict[int, np.ndarray]] = {}
+        for col, j in enumerate(level_ids):
+            try:
+                gathered[j] = self._gather_level(name, j, col, outcome, rec)
+            except _DEGRADABLE as exc:
+                if not degrade:
+                    raise
+                # Progressive reconstruction needs a contiguous level
+                # prefix: a lost level makes every deeper one useless.
+                failures.append(LevelFailure(j, "gather", repr(exc)))
+                break
         timings["gather"] = time.perf_counter() - t0
         latency = gathering_latency(
             outcome, sizes, rec.ft_config, self.cluster.bandwidths
         )
 
         t0 = time.perf_counter()
-        level_ids = sorted(outcome.levels_included)
-
-        def _decode(j: int) -> bytes:
-            cfg = ECConfig(n, rec.ft_config[j])
-            return self.codec.decode_level(config=cfg, fragments=gathered[j])
-
-        payloads = thread_map(
-            _decode, level_ids, workers=min(self.ec_workers, len(level_ids))
-        )
+        good_ids = sorted(gathered)
+        payloads = self._decode_prefix(good_ids, gathered, rec, degrade, failures)
         timings["ec_decode"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        data = self._reconstruct(rec, payloads)
+        data = None
+        while payloads:
+            try:
+                data = self._reconstruct(rec, payloads)
+                break
+            except _DEGRADABLE as exc:
+                if not degrade:
+                    raise
+                failures.append(
+                    LevelFailure(good_ids[len(payloads) - 1], "pipeline", repr(exc))
+                )
+                payloads = payloads[:-1]
         timings["reconstruct"] = time.perf_counter() - t0
 
-        used = len(payloads)
-        achieved = rec.level_errors[used - 1]
+        used = len(payloads) if data is not None else 0
+        achieved = rec.level_errors[used - 1] if used else 1.0
+        degraded = None
+        if failures:
+            recovered = good_ids[:used]
+            degraded = DegradedRestore(
+                name=name,
+                requested_levels=level_ids,
+                recovered_levels=recovered,
+                abandoned_levels=[j for j in level_ids if j not in recovered],
+                failures=failures,
+                error_bound=achieved if used else None,
+                injected_faults=self._injected_since(faults_before),
+            )
         return RestoreReport(
             name=name,
             data=data,
@@ -451,7 +576,72 @@ class RAPIDS:
             achieved_error=achieved,
             gathering_latency=latency,
             timings=timings,
+            degraded=degraded,
         )
+
+    def _degraded_empty(
+        self, name: str, failures: list[LevelFailure], faults_before: int
+    ) -> RestoreReport:
+        """A nothing-recovered report for object-wide restore failures."""
+        return RestoreReport(
+            name=name, data=None, levels_used=0, achieved_error=1.0,
+            gathering_latency=0.0, timings={"gather_optimize": 0.0},
+            degraded=DegradedRestore(
+                name=name,
+                failures=failures,
+                injected_faults=self._injected_since(faults_before),
+            ),
+        )
+
+    def _injected_since(self, start: int) -> dict:
+        """Counts per (site, effect) of faults injected since ``start``."""
+        counts: dict[str, int] = {}
+        if self.injector is not None:
+            for fr in self.injector.log[start:]:
+                k = f"{fr.site}:{fr.effect}"
+                counts[k] = counts.get(k, 0) + 1
+        return counts
+
+    def _decode_prefix(
+        self, level_ids, gathered, rec, degrade: bool, failures: list[LevelFailure]
+    ) -> list[bytes]:
+        """Decode the gathered levels, truncating at the first failure.
+
+        Without an injector the levels decode on the thread pool as
+        before; with one attached (or after a threaded failure, to find
+        the surviving prefix) decoding runs serially in level order, so
+        the plan's occurrence windows see a deterministic sequence and
+        the injector is never consulted from worker threads.
+        """
+        if not level_ids:
+            return []
+        n = self.cluster.n
+
+        def _decode(j: int) -> bytes:
+            cfg = ECConfig(n, rec.ft_config[j])
+            return self.codec.decode_level(
+                config=cfg, fragments=gathered[j], level_index=j
+            )
+
+        if self.injector is None:
+            try:
+                return thread_map(
+                    _decode, level_ids,
+                    workers=min(self.ec_workers, len(level_ids)),
+                )
+            except _DEGRADABLE:
+                if not degrade:
+                    raise
+        payloads: list[bytes] = []
+        for j in level_ids:
+            try:
+                payloads.append(_decode(j))
+            except _DEGRADABLE as exc:
+                if not degrade:
+                    raise
+                failures.append(LevelFailure(j, "decode", repr(exc)))
+                break
+        return payloads
 
     def restore_progressive(
         self,
@@ -522,60 +712,75 @@ class RAPIDS:
             )
         raise ValueError(f"unknown gathering strategy: {strategy!r}")
 
-    def _gather(
-        self, name: str, outcome: GatheringOutcome, rec: ObjectRecord
-    ) -> dict[int, dict[int, np.ndarray]]:
-        """Fetch the selected fragments, verifying integrity.
+    def _fetch_checked(self, name: str, j: int, i: int) -> np.ndarray:
+        """Fetch fragment ``i`` of level ``j`` and verify its checksum.
 
-        Fragment index i lives on system i (the default placement), so
-        selecting system i for level j means fetching fragment i of j.
-        A fragment whose checksum no longer matches its metadata record
-        (bit rot, torn write) is treated as an *erasure*: it is dropped
-        and replaced by a fragment from a spare available system, which
-        the EC math tolerates exactly like an outage.
+        Runs under the pipeline retry policy, so *transient* injected
+        faults (occurrence windows that close) heal in place; persistent
+        ones exhaust the retries and surface to the caller as erasures.
         """
         from ..formats import verify
 
-        out: dict[int, dict[int, np.ndarray]] = {}
-        for col, j in enumerate(sorted(outcome.levels_included)):
-            frags: dict[int, np.ndarray] = {}
-            corrupt: list[int] = []
-            for i in np.nonzero(outcome.x[:, col])[0]:
-                sf = self.cluster.fetch(name, j, int(i))
+        def attempt() -> np.ndarray:
+            sf = self.cluster.fetch(name, j, i)
+            try:
+                expected = self.catalog.get_fragment(name, j, i).checksum
+            except KeyError:
+                expected = 0
+            if expected and not verify(sf.payload, expected):
+                raise _CorruptFragment(
+                    f"fragment {i} of level {j} failed its checksum"
+                )
+            return np.frombuffer(sf.payload, dtype=np.uint8)
+
+        out = self.retry_policy.call(attempt, retry_on=_FETCH_ERRORS)
+        if not out.ok:
+            raise out.error
+        return out.value
+
+    def _gather_level(
+        self, name: str, j: int, col: int,
+        outcome: GatheringOutcome, rec: ObjectRecord,
+    ) -> dict[int, np.ndarray]:
+        """Fetch one level's selected fragments, verifying integrity.
+
+        Fragment index i lives on system i (the default placement), so
+        selecting system i for level j means fetching fragment i of j.
+        A fragment that cannot be fetched cleanly — checksum mismatch
+        (bit rot, torn write), injected read error, system that dropped
+        out after selection — is treated as an *erasure*: it is dropped
+        and replaced by a fragment from a spare available system, which
+        the EC math tolerates exactly like an outage.  Raises when fewer
+        than ``k`` clean fragments remain.
+        """
+        frags: dict[int, np.ndarray] = {}
+        lost: list[int] = []
+        selected = [int(i) for i in np.nonzero(outcome.x[:, col])[0]]
+        for i in selected:
+            try:
+                frags[i] = self._fetch_checked(name, j, i)
+            except _FETCH_ERRORS:
+                lost.append(i)
+        needed = self.cluster.n - rec.ft_config[j]
+        if lost:
+            spares = [
+                idx
+                for idx in sorted(self.cluster.locate(name, j))
+                if idx not in set(selected)
+            ]
+            for idx in spares:
+                if len(frags) >= needed:
+                    break
                 try:
-                    expected = self.catalog.get_fragment(name, j, int(i)).checksum
-                except KeyError:
-                    expected = 0
-                if expected and not verify(sf.payload, expected):
-                    corrupt.append(int(i))
+                    frags[idx] = self._fetch_checked(name, j, idx)
+                except _FETCH_ERRORS:
                     continue
-                frags[int(i)] = np.frombuffer(sf.payload, dtype=np.uint8)
-            if corrupt:
-                needed = self.cluster.n - rec.ft_config[j]
-                selected = set(np.nonzero(outcome.x[:, col])[0].tolist())
-                spares = [
-                    idx
-                    for idx, sid in self.cluster.locate(name, j).items()
-                    if idx not in selected
-                ]
-                for idx in spares:
-                    if len(frags) >= needed:
-                        break
-                    sf = self.cluster.fetch(name, j, idx)
-                    try:
-                        expected = self.catalog.get_fragment(name, j, idx).checksum
-                    except KeyError:
-                        expected = 0
-                    if expected and not verify(sf.payload, expected):
-                        continue
-                    frags[idx] = np.frombuffer(sf.payload, dtype=np.uint8)
-                if len(frags) < needed:
-                    raise RuntimeError(
-                        f"level {j} of {name!r}: {len(corrupt)} corrupt "
-                        "fragments and not enough clean spares to decode"
-                    )
-            out[j] = frags
-        return out
+        if len(frags) < needed:
+            raise RuntimeError(
+                f"level {j} of {name!r}: {len(lost)} fragment(s) lost, "
+                f"{len(frags)}/{needed} clean after spares — cannot decode"
+            )
+        return frags
 
     def _reconstruct(self, rec: ObjectRecord, payloads: list[bytes]) -> np.ndarray:
         from ..refactor.grid import LevelPlan

@@ -104,6 +104,14 @@ class ErasureCodec:
             raise ValueError(f"n must be in [2, 256], got {n}")
         self.n = n
         self.workers = workers
+        #: Optional chaos seam (see :mod:`repro.chaos`): consulted at
+        #: the top of every decode.  Keep decodes serial (workers=1)
+        #: when injecting here so occurrence windows see a stable order.
+        self.injector = None
+
+    def attach_injector(self, injector) -> None:
+        """Attach (or clear) a chaos injector."""
+        self.injector = injector
 
     def encode_level(
         self,
@@ -131,6 +139,7 @@ class ErasureCodec:
         config: ECConfig | None = None,
         fragments: dict[int, np.ndarray] | None = None,
         workers: int | None = None,
+        level_index: int | None = None,
     ) -> bytes:
         """Decode a level from an :class:`EncodedLevel` or a raw fragment map.
 
@@ -141,8 +150,14 @@ class ErasureCodec:
         if encoded is not None:
             config = encoded.config
             fragments = {i: f for i, f in enumerate(encoded.fragments)}
+            if level_index is None:
+                level_index = encoded.level_index
         if config is None or fragments is None:
             raise ValueError("provide either an EncodedLevel or (config, fragments)")
+        if self.injector is not None:
+            self.injector.check(
+                "ec.decode", level=level_index, k=config.k, m=config.m,
+            )
         code = _code(config.k, config.m)
         return code.decode(fragments, workers=workers or self.workers)
 

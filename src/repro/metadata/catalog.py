@@ -69,6 +69,13 @@ class MetadataCatalog:
         self._own_store = not hasattr(path, "get")
         self.store = KVStore(path) if self._own_store else path
 
+    def attach_injector(self, injector) -> None:
+        """Forward a chaos injector to the underlying KV store (no-op
+        for store implementations without the seam)."""
+        attach = getattr(self.store, "attach_injector", None)
+        if attach is not None:
+            attach(injector)
+
     # -- objects -----------------------------------------------------------
 
     def put_object(self, rec: ObjectRecord) -> None:

@@ -58,7 +58,15 @@ class KVStore:
         self._handles: dict[int, object] = {}
         self._active_id = 0
         self._active = None
+        #: Optional chaos seam (see :mod:`repro.chaos`): consulted on
+        #: every append/read; ``torn`` write faults crash the store.
+        self.injector = None
+        self._crashed = False
         self._recover()
+
+    def attach_injector(self, injector) -> None:
+        """Attach (or clear) a chaos injector."""
+        self.injector = injector
 
     # -- segment plumbing ------------------------------------------------
 
@@ -134,14 +142,60 @@ class KVStore:
         return key, value, bool(tomb), end - off
 
     def _append(self, key: bytes, value: bytes, tombstone: bool) -> tuple[int, int, int]:
+        self._check_live()
         body = _HEADER.pack(0, len(key), len(value), int(tombstone))[4:] + key + value
         rec = struct.pack("<I", zlib.crc32(body)) + body
+        if self.injector is not None:
+            spec = self.injector.check(
+                "kvstore.put", handled=("torn",),
+                key=key.decode("utf-8", "replace"), tombstone=tombstone,
+            )
+            if spec is not None:
+                self._torn_append(rec, spec, key)
         if self._active.tell() + len(rec) > self.segment_bytes and self._active.tell() > 0:
             self._roll_segment()
         off = self._active.tell()
         self._active.write(rec)
         self._active.flush()
+        if self.injector is not None:
+            self.injector.check(
+                "kvstore.fsync", key=key.decode("utf-8", "replace"),
+            )
         return self._active_id, off, len(rec)
+
+    def _torn_append(self, rec: bytes, spec, key: bytes) -> None:
+        """Write only a prefix of the record, then crash the store.
+
+        Simulates a power cut mid-append: the torn tail is exactly what
+        :meth:`_replay_segment` detects and truncates on the next open.
+        The store refuses further operations until reopened.
+        """
+        from ..chaos import InjectedFault
+
+        cut = min(len(rec) - 1, int(len(rec) * min(max(spec.magnitude, 0.0), 1.0)))
+        if cut > 0:
+            self._active.write(rec[:cut])
+            self._active.flush()
+        self._crash()
+        raise InjectedFault(
+            "kvstore.put", "torn", {"key": key.decode("utf-8", "replace")},
+        )
+
+    def _crash(self) -> None:
+        """Drop all handles and refuse further ops until reopen."""
+        self._crashed = True
+        if self._active is not None:
+            self._active.close()
+            self._active = None
+        for fh in self._handles.values():
+            fh.close()
+        self._handles.clear()
+
+    def _check_live(self) -> None:
+        if self._crashed or self._active is None:
+            raise RuntimeError(
+                "KVStore crashed or closed; reopen the directory to recover"
+            )
 
     def _roll_segment(self) -> None:
         self._active.close()
@@ -159,6 +213,11 @@ class KVStore:
     def get(self, key: bytes, default: bytes | None = None) -> bytes | None:
         """Fetch the latest value for ``key`` or ``default`` if absent."""
         self._check_key(key)
+        self._check_live()
+        if self.injector is not None:
+            self.injector.check(
+                "kvstore.get", key=bytes(key).decode("utf-8", "replace"),
+            )
         loc = self._index.get(bytes(key))
         if loc is None:
             return default
@@ -210,8 +269,16 @@ class KVStore:
         self._handles.clear()
         self._index.clear()
         self._open_active(new_start)
-        for k, v in live:
-            self._index[k] = self._append(k, v, False)
+        try:
+            for k, v in live:
+                self._index[k] = self._append(k, v, False)
+        except RuntimeError:
+            # Injected crash mid-compaction: the old segment chain is
+            # still on disk (we unlink only after a full rewrite), so a
+            # reopen replays old-then-partial-new and loses nothing.
+            if not self._crashed:
+                self._crash()
+            raise
         for seg_id in old_ids:
             if seg_id != self._active_id:
                 self._segment_path(seg_id).unlink()

@@ -67,6 +67,12 @@ class StorageCluster:
 
     # -- failure injection -----------------------------------------------
 
+    def attach_injector(self, injector) -> None:
+        """Attach (or clear, with ``None``) a chaos
+        :class:`~repro.chaos.FaultInjector` on every system."""
+        for s in self.systems:
+            s.injector = injector
+
     def fail(self, system_ids: Iterable[int]) -> None:
         for sid in system_ids:
             self.systems[sid].fail()

@@ -48,6 +48,8 @@ class FileStorageSystem:
         self.bandwidth = float(bandwidth)
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Optional chaos seam (see :mod:`repro.chaos`).
+        self.injector = None
 
     # -- availability -----------------------------------------------------
 
@@ -73,8 +75,16 @@ class FileStorageSystem:
         self._check()
         if frag.payload is None:
             raise ValueError("file-backed systems need real payloads")
+        path = self.root / _fragment_filename(*frag.key)
+        spec = None
+        if self.injector is not None:
+            spec = self.injector.check(
+                "filestore.write", handled=("torn",),
+                system_id=self.system_id, object_name=frag.object_name,
+                level=frag.level, index=frag.index,
+            )
         write_fragment_file(
-            self.root / _fragment_filename(*frag.key),
+            path,
             frag.payload,
             object_name=frag.object_name,
             level=frag.level,
@@ -82,6 +92,20 @@ class FileStorageSystem:
             k=0,
             m=0,
         )
+        if spec is not None:
+            # Torn write: keep only a prefix of the container file, then
+            # crash the operation — what a power cut mid-write leaves.
+            from ..chaos import InjectedFault
+
+            size = path.stat().st_size
+            keep = min(size - 1, int(size * min(spec.magnitude, 1.0)))
+            with open(path, "ab") as fh:
+                fh.truncate(max(0, keep))
+            raise InjectedFault(
+                "filestore.write", "torn",
+                {"system_id": self.system_id, "object_name": frag.object_name,
+                 "level": frag.level, "index": frag.index},
+            )
 
     def get(self, object_name: str, level: int, index: int) -> StoredFragment:
         self._check()
@@ -89,6 +113,11 @@ class FileStorageSystem:
         if not path.exists():
             raise KeyError((object_name, level, index))
         attrs, payload = read_fragment_file(path)
+        if self.injector is not None:
+            payload = self.injector.filter_payload(
+                "filestore.read", payload, system_id=self.system_id,
+                object_name=object_name, level=level, index=index,
+            )
         return StoredFragment(
             attrs["object_name"], attrs["level"], attrs["index"],
             len(payload), payload,
@@ -177,6 +206,11 @@ class FileStorageCluster:
 
     def failed_ids(self) -> list[int]:
         return [s.system_id for s in self.systems if not s.available]
+
+    def attach_injector(self, injector) -> None:
+        """Attach (or clear) a chaos injector on every system."""
+        for s in self.systems:
+            s.injector = injector
 
     def fail(self, system_ids) -> None:
         for sid in system_ids:

@@ -57,6 +57,9 @@ class StorageSystem:
     name: str
     bandwidth: float
     available: bool = True
+    #: Optional chaos seam (see :mod:`repro.chaos`): consulted at every
+    #: fragment read/write when set; ``None`` costs one identity check.
+    injector: object | None = field(default=None, repr=False, compare=False)
     _store: dict[tuple[str, int, int], StoredFragment] = field(
         default_factory=dict, repr=False
     )
@@ -72,6 +75,12 @@ class StorageSystem:
         """Store a fragment. Refuses while unavailable. Thread-safe."""
         if not self.available:
             raise UnavailableError(f"system {self.name} is unavailable")
+        if self.injector is not None:
+            self.injector.check(
+                "storage.write", system_id=self.system_id,
+                object_name=frag.object_name, level=frag.level,
+                index=frag.index,
+            )
         with self._lock:
             self._store[frag.key] = frag
 
@@ -80,7 +89,24 @@ class StorageSystem:
         if not self.available:
             raise UnavailableError(f"system {self.name} is unavailable")
         with self._lock:
-            return self._store[(object_name, level, index)]
+            frag = self._store[(object_name, level, index)]
+        if self.injector is not None and frag.payload is not None:
+            # Corruption/truncation mutates a copy: the resident
+            # fragment survives intact, like bit rot on the wire.
+            payload = self.injector.filter_payload(
+                "storage.read", frag.payload, system_id=self.system_id,
+                object_name=object_name, level=level, index=index,
+            )
+            if payload is not frag.payload:
+                frag = StoredFragment(
+                    object_name, level, index, len(payload), payload,
+                )
+        elif self.injector is not None:
+            self.injector.check(
+                "storage.read", system_id=self.system_id,
+                object_name=object_name, level=level, index=index,
+            )
+        return frag
 
     def has(self, object_name: str, level: int, index: int) -> bool:
         with self._lock:

@@ -70,6 +70,7 @@ class GlobusService:
     failure_prob: float = 0.0
     seed: int | None = None
     clock: float = 0.0
+    injector: object | None = None
     tasks: dict[str, GlobusTask] = field(default_factory=dict)
     events: list[str] = field(default_factory=list)
 
@@ -81,6 +82,11 @@ class GlobusService:
             raise ValueError("failure_prob must be in [0, 1)")
         self._rng = np.random.default_rng(self.seed)
         self._ids = itertools.count(1)
+
+    def attach_injector(self, injector) -> None:
+        """Attach (or clear) a chaos injector (site ``globus.submit``:
+        ``error`` dooms the task, ``stall`` delays its completion)."""
+        self.injector = injector
 
     # -- submission ------------------------------------------------------
 
@@ -113,6 +119,16 @@ class GlobusService:
         if self._rng.random() < self.failure_prob:
             task.status = TaskStatus.ACTIVE  # fails at completion time
             task.label += " [doomed]"
+        if self.injector is not None:
+            spec = self.injector.fault_at(
+                "globus.submit", source=source, destination=destination,
+                label=label,
+            )
+            if spec is not None:
+                if spec.effect == "stall":
+                    task.completes_at += float(spec.magnitude)
+                elif not task.label.endswith("[doomed]"):
+                    task.label += " [doomed]"
         self.tasks[task_id] = task
         self.events.append(
             f"t={self.clock:.1f} SUBMIT {task_id} {label!r} "

@@ -22,11 +22,23 @@ from typing import Callable
 
 import numpy as np
 
+from ..chaos.retry import RetryPolicy
+
 __all__ = ["TransferTask", "TransferTaskManager", "TaskFailed"]
 
 
 class TaskFailed(RuntimeError):
-    """A task exhausted its retries on every candidate source."""
+    """A task exhausted its retries (or deadline) on every candidate source.
+
+    ``attempts`` carries the total attempt count across all sources;
+    ``deadline_hit`` distinguishes a time-budget abandonment from plain
+    retry exhaustion.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0, deadline_hit: bool = False):
+        super().__init__(message)
+        self.attempts = attempts
+        self.deadline_hit = deadline_hit
 
 
 @dataclass
@@ -34,6 +46,8 @@ class TransferTask:
     """One managed transfer: ``nbytes`` from one of ``sources``.
 
     ``sources`` is ordered by preference; failover walks the list.
+    ``failure`` records why an abandoned task stopped (``"deadline"`` or
+    ``"exhausted"``); it stays ``None`` on success.
     """
 
     nbytes: float
@@ -43,6 +57,7 @@ class TransferTask:
     completed: bool = False
     source_used: int | None = None
     elapsed: float = 0.0
+    failure: str | None = None
 
     def __post_init__(self) -> None:
         if self.nbytes < 0:
@@ -70,8 +85,24 @@ class TransferTaskManager:
         failed attempt costs ``abort_fraction`` of the transfer time).
     max_retries:
         Attempts per source before failing over to the next candidate.
+        ``None`` means unlimited per-source attempts — then ``deadline``
+        (or an explicit ``retry_policy`` with one) is mandatory, so a
+        permanently failed endpoint cannot be retried forever.
     backoff:
         Simulated seconds added per retry (exponential: backoff * 2**i).
+        Charged only when another attempt on the same source actually
+        follows — never before a failover or a final abandonment.
+    deadline:
+        Total simulated-seconds budget per task across every attempt,
+        backoff, and failover.  Once a task's clock reaches it, the task
+        is abandoned with ``TaskFailed(deadline_hit=True)``.
+    retry_policy:
+        A :class:`~repro.chaos.RetryPolicy` overriding ``max_retries`` /
+        ``backoff`` / ``deadline`` (those are ignored when it is set).
+    injector:
+        Optional chaos seam (see :mod:`repro.chaos`), consulted once per
+        attempt at site ``transfer.attempt``; ``error`` faults fail the
+        attempt, ``stall`` faults add ``magnitude`` simulated seconds.
     on_complete:
         Optional callback ``(source_id, nbytes, seconds)`` for finished
         tasks — wire this to :meth:`BandwidthTracker.observe`.
@@ -79,10 +110,13 @@ class TransferTaskManager:
 
     bandwidths: np.ndarray
     failure_prob: float = 0.0
-    max_retries: int = 3
+    max_retries: int | None = 3
     backoff: float = 1.0
     abort_fraction: float = 0.5
     seed: int | None = None
+    deadline: float | None = None
+    retry_policy: RetryPolicy | None = None
+    injector: object | None = None
     on_complete: Callable[[int, float, float], None] | None = None
     log: list[str] = field(default_factory=list)
 
@@ -92,9 +126,29 @@ class TransferTaskManager:
             raise ValueError("bandwidths must be positive")
         if not 0.0 <= self.failure_prob < 1.0:
             raise ValueError("failure_prob must be in [0, 1)")
-        if self.max_retries < 1:
-            raise ValueError("max_retries must be >= 1")
+        if self.max_retries is not None and self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1 (or None for unlimited)")
+        if (
+            self.retry_policy is None
+            and self.max_retries is None
+            and self.deadline is None
+        ):
+            raise ValueError("max_retries=None (unlimited) requires a deadline")
         self._rng = np.random.default_rng(self.seed)
+
+    def attach_injector(self, injector) -> None:
+        """Attach (or clear) a chaos injector."""
+        self.injector = injector
+
+    def _policy(self) -> RetryPolicy:
+        if self.retry_policy is not None:
+            return self.retry_policy
+        return RetryPolicy(
+            max_attempts=self.max_retries,
+            base=self.backoff,
+            factor=2.0,
+            deadline=self.deadline,
+        )
 
     def run(self, tasks: list[TransferTask]) -> float:
         """Execute all tasks; returns the makespan (simulated seconds).
@@ -118,32 +172,77 @@ class TransferTaskManager:
         return makespan
 
     def _run_one(self, task: TransferTask, counts: np.ndarray) -> float:
+        policy = self._policy()
         clock = 0.0
         for src in task.sources:
             if not 0 <= src < len(self.bandwidths):
                 raise ValueError(f"unknown endpoint {src}")
             share = self.bandwidths[src] / max(1.0, counts[src])
             base_time = task.nbytes / share if task.nbytes else 0.0
-            for attempt in range(self.max_retries):
-                task.attempts += 1
-                if self._rng.random() < self.failure_prob:
-                    clock += base_time * self.abort_fraction
-                    clock += self.backoff * (2**attempt)
+            attempts_here = 0
+            while True:
+                if policy.deadline is not None and clock >= policy.deadline:
+                    task.elapsed = clock
+                    task.failure = "deadline"
                     self.log.append(
-                        f"task {task.tag!r}: attempt {task.attempts} via "
-                        f"endpoint {src} failed"
+                        f"task {task.tag!r}: deadline exhausted after "
+                        f"{task.attempts} attempts"
                     )
-                    continue
-                clock += base_time
-                task.completed = True
-                task.source_used = src
-                task.elapsed = clock
-                if self.on_complete is not None and base_time > 0:
-                    self.on_complete(src, task.nbytes, base_time)
-                return clock
+                    raise TaskFailed(
+                        f"task {task.tag!r} exceeded its "
+                        f"{policy.deadline:.1f}s deadline after "
+                        f"{task.attempts} attempts",
+                        attempts=task.attempts,
+                        deadline_hit=True,
+                    )
+                task.attempts += 1
+                attempts_here += 1
+                stall, failed = self._attempt_fate(task, src)
+                clock += stall
+                if not failed:
+                    clock += base_time
+                    task.completed = True
+                    task.source_used = src
+                    task.elapsed = clock
+                    if self.on_complete is not None and base_time > 0:
+                        self.on_complete(src, task.nbytes, base_time)
+                    return clock
+                clock += base_time * self.abort_fraction
+                self.log.append(
+                    f"task {task.tag!r}: attempt {task.attempts} via "
+                    f"endpoint {src} failed"
+                )
+                if not policy.should_retry(attempts_here, clock):
+                    break
+                # Backoff is charged only because another attempt on this
+                # source follows; failovers and abandonments start cold.
+                u = self._rng.random() if policy.jitter else None
+                clock += policy.delay(attempts_here - 1, u=u)
             self.log.append(
                 f"task {task.tag!r}: failing over away from endpoint {src}"
             )
+        task.elapsed = clock
+        task.failure = "exhausted"
         raise TaskFailed(
-            f"task {task.tag!r} failed on all sources {task.sources}"
+            f"task {task.tag!r} failed on all sources {task.sources} "
+            f"after {task.attempts} attempts",
+            attempts=task.attempts,
         )
+
+    def _attempt_fate(self, task: TransferTask, src: int) -> tuple[float, bool]:
+        """Resolve one attempt: ``(stall seconds, failed?)``.
+
+        An injected ``error`` fails the attempt outright (no RNG draw, so
+        background flakiness stays on the same seeded sequence); a
+        ``stall`` delays it and then lets the normal failure draw run.
+        """
+        stall = 0.0
+        if self.injector is not None:
+            spec = self.injector.fault_at(
+                "transfer.attempt", tag=str(task.tag), source=int(src)
+            )
+            if spec is not None:
+                if spec.effect != "stall":
+                    return stall, True
+                stall = float(spec.magnitude)
+        return stall, bool(self._rng.random() < self.failure_prob)

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.chaos import FaultInjector, FaultPlan
 from repro.core import RAPIDS
 from repro.metadata import MetadataCatalog
 from repro.refactor import Refactorer, relative_linf_error, transform
@@ -136,7 +137,9 @@ class TestPipelineEdges:
         data = self._field()
         prep = rapids.prepare("obj", data)
         n_fail = prep.ft_config[-1] + 1
-        rapids.cluster.fail(range(n_fail))
+        injector = FaultInjector(FaultPlan.outages(range(n_fail)))
+        rapids.attach_injector(injector)
+        injector.apply_outages(rapids.cluster)
         reports = list(rapids.restore_progressive("obj"))
         assert len(reports) < 4
         assert reports[-1].levels_used == len(reports)

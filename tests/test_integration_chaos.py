@@ -1,12 +1,18 @@
 """Chaos-style integration tests: the whole pipeline under randomised
 failure sequences must preserve its core invariants.
 
+Failure setups are declarative :class:`~repro.chaos.FaultPlan` schedules
+(applied through a :class:`~repro.chaos.FaultInjector`) instead of
+hand-rolled ``cluster.fail`` calls and monkeypatched spies — the same
+plans replay from the ``rapids chaos`` CLI.
+
 Invariants checked across every random scenario:
 
 1. restored data error never exceeds the recorded error of the deepest
    level that survived (the paper's error-bounded guarantee);
 2. a level is recoverable iff the failure count does not exceed its m_j;
-3. restore never touches a failed system;
+3. restore never touches a failed system (observed via the injector's
+   operation trace);
 4. outcomes are independent of *which* systems failed, given how many
    (the symmetric-placement property behind Eqs. 4/5).
 """
@@ -16,10 +22,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.chaos import FaultInjector, FaultPlan
 from repro.core import RAPIDS
 from repro.metadata import MetadataCatalog
 from repro.refactor import Refactorer, relative_linf_error
-from repro.storage import StorageCluster, exact_k_failures
+from repro.storage import StorageCluster
 from repro.transfer import paper_bandwidth_profile
 
 
@@ -42,6 +49,19 @@ def prepared(tmp_path_factory):
     return rapids, data, prep
 
 
+def _restore_under(rapids, plan, *, trace=False, strategy="naive", seed=0):
+    """Apply ``plan`` through a fresh injector, restore, detach cleanly."""
+    injector = FaultInjector(plan, trace=trace)
+    rapids.attach_injector(injector)
+    injector.apply_outages(rapids.cluster)
+    try:
+        res = rapids.restore("chaos:obj", strategy=strategy, seed=seed)
+    finally:
+        rapids.attach_injector(None)
+        rapids.cluster.restore_all()
+    return res, injector
+
+
 @given(
     n_failures=st.integers(min_value=0, max_value=15),
     seed=st.integers(min_value=0, max_value=10_000),
@@ -50,13 +70,8 @@ def prepared(tmp_path_factory):
 @settings(max_examples=25, deadline=None)
 def test_error_bound_invariant(prepared, n_failures, seed, strategy):
     rapids, data, prep = prepared
-    rapids.cluster.restore_all()
-    failed = exact_k_failures(16, n_failures, seed=seed)
-    rapids.cluster.fail(failed)
-    try:
-        res = rapids.restore("chaos:obj", strategy=strategy, seed=seed)
-    finally:
-        rapids.cluster.restore_all()
+    plan = FaultPlan.exact_failures(16, n_failures, seed=seed)
+    res, _ = _restore_under(rapids, plan, strategy=strategy, seed=seed)
 
     ms = prep.ft_config
     expected_levels = sum(1 for m in ms if n_failures <= m)
@@ -80,11 +95,9 @@ def test_symmetry_in_failure_identity(prepared, seed_a, seed_b):
     rapids, data, prep = prepared
     results = []
     for seed in (seed_a, seed_b):
-        rapids.cluster.restore_all()
-        rapids.cluster.fail(exact_k_failures(16, 4, seed=seed))
-        res = rapids.restore("chaos:obj", strategy="naive")
+        plan = FaultPlan.exact_failures(16, 4, seed=seed)
+        res, _ = _restore_under(rapids, plan)
         results.append(res)
-    rapids.cluster.restore_all()
     assert results[0].levels_used == results[1].levels_used
     np.testing.assert_array_equal(results[0].data, results[1].data)
 
@@ -94,32 +107,29 @@ def test_fail_restore_fail_cycles(prepared):
     rapids, data, prep = prepared
     rng = np.random.default_rng(42)
     for _ in range(8):
-        rapids.cluster.restore_all()
         k = int(rng.integers(0, 10))
-        rapids.cluster.fail(exact_k_failures(16, k, seed=int(rng.integers(1e6))))
-        res = rapids.restore("chaos:obj", strategy="naive")
+        plan = FaultPlan.exact_failures(16, k, seed=int(rng.integers(1e6)))
+        res, _ = _restore_under(rapids, plan)
         if res.data is not None:
             assert np.all(np.isfinite(res.data))
-    rapids.cluster.restore_all()
     res = rapids.restore("chaos:obj", strategy="naive")
     assert res.levels_used == 4
 
 
-def test_restore_never_reads_failed_systems(prepared, monkeypatch):
+def test_restore_never_reads_failed_systems(prepared):
     rapids, _, _ = prepared
-    rapids.cluster.restore_all()
     failed = [0, 4, 8]
-    rapids.cluster.fail(failed)
-    touched = []
-    original_fetch = rapids.cluster.fetch
-
-    def spy(name, level, index):
-        frag = original_fetch(name, level, index)
-        touched.append(index)  # fragment i lives on system i
-        return frag
-
-    monkeypatch.setattr(rapids.cluster, "fetch", spy)
-    rapids.restore("chaos:obj", strategy="random", seed=5)
-    rapids.cluster.restore_all()
+    _, injector = _restore_under(
+        rapids, FaultPlan.outages(failed), trace=True,
+        strategy="random", seed=5,
+    )
+    # every fragment read consults the storage.read seam; failed systems
+    # raise UnavailableError before reaching it, so absence from the
+    # trace means restore never touched them
+    touched = {
+        ctx["system_id"]
+        for site, ctx in injector.trace
+        if site == "storage.read"
+    }
     assert touched, "restore should have fetched fragments"
-    assert not set(touched) & set(failed)
+    assert not touched & set(failed)

@@ -79,14 +79,22 @@ class TestCorruptionHandling:
         assert res.levels_used >= 1
         assert np.all(np.isfinite(res.data))
 
-    def test_too_much_corruption_raises(self, rapids):
+    def test_too_much_corruption_degrades_or_raises(self, rapids):
         data = smooth()
         prep = rapids.prepare("obj", data)
         # corrupt every fragment of the bottom level
         for idx in range(16):
             _corrupt(rapids.cluster, "obj", 3, idx)
-        with pytest.raises(RuntimeError, match="corrupt"):
-            rapids.restore("obj", strategy="naive")
+        # strict mode refuses outright
+        with pytest.raises(RuntimeError, match="lost"):
+            rapids.restore("obj", strategy="naive", degrade=False)
+        # the default degrades to the clean three-level prefix and says so
+        res = rapids.restore("obj", strategy="naive")
+        assert res.levels_used == 3
+        assert res.degraded is not None
+        assert res.degraded.abandoned_levels == [3]
+        err = relative_linf_error(data, res.data)
+        assert err <= prep.level_errors[2] + 1e-12
 
     def test_corruption_never_silently_propagates(self, rapids):
         """Whatever the corruption pattern, restored data matches the

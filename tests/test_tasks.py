@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.chaos import FaultInjector, FaultPlan, FaultSpec
 from repro.transfer import TaskFailed, TransferTask, TransferTaskManager
 
 
@@ -100,6 +101,71 @@ class TestFailureHandling:
         )
         with pytest.raises(TaskFailed):
             mgr.run([TransferTask(100.0, [0], tag="doomed")])
+
+    def test_unlimited_retries_require_deadline(self):
+        """Regression: max_retries=None used to retry a dead endpoint
+        forever; now it is rejected unless a deadline bounds it."""
+        with pytest.raises(ValueError, match="deadline"):
+            TransferTaskManager(np.array([10.0]), max_retries=None)
+        TransferTaskManager(
+            np.array([10.0]), max_retries=None, deadline=60.0
+        )  # ok
+
+    def test_deadline_abandons_unbounded_retries(self):
+        mgr = TransferTaskManager(
+            np.array([10.0]), failure_prob=0.999999,
+            max_retries=None, deadline=100.0, seed=4,
+        )
+        task = TransferTask(100.0, [0], tag="dl")
+        with pytest.raises(TaskFailed) as exc_info:
+            mgr.run([task])
+        assert exc_info.value.deadline_hit
+        assert exc_info.value.attempts == task.attempts > 0
+        assert task.failure == "deadline"
+        assert task.elapsed >= 100.0
+        assert any("deadline" in line for line in mgr.log)
+
+    def test_no_backoff_charged_after_final_attempt(self):
+        """Regression: backoff used to be charged after the *last* attempt
+        on a source, inflating elapsed time before failover/abandonment.
+        With zero-byte tasks the only cost left is backoff, so the clock
+        exposes the accounting exactly: two sources x two attempts means
+        one backoff per source (between its attempts) = 2.0s, not the
+        6.0s the buggy accounting produced."""
+        mgr = TransferTaskManager(
+            np.array([10.0, 10.0]), failure_prob=0.999999,
+            max_retries=2, backoff=1.0, seed=0,
+        )
+        task = TransferTask(0.0, [0, 1], tag="acct")
+        with pytest.raises(TaskFailed) as exc_info:
+            mgr.run([task])
+        assert task.elapsed == pytest.approx(2.0)
+        assert exc_info.value.attempts == task.attempts == 4
+        assert task.failure == "exhausted"
+
+    def test_injected_fault_heals_after_occurrence_window(self):
+        """A transfer.attempt error spec with stop=2 fails the first two
+        attempts and heals; the third attempt completes the task."""
+        mgr = TransferTaskManager(np.array([10.0]), max_retries=3, seed=0)
+        mgr.attach_injector(FaultInjector(FaultPlan(specs=(
+            FaultSpec(site="transfer.attempt", effect="error", stop=2),
+        ))))
+        task = TransferTask(100.0, [0], tag="heal")
+        mgr.run([task])
+        assert task.completed
+        assert task.attempts == 3
+        assert task.failure is None
+
+    def test_injected_stall_adds_simulated_time(self):
+        mgr = TransferTaskManager(np.array([10.0]), seed=0)
+        mgr.attach_injector(FaultInjector(FaultPlan(specs=(
+            FaultSpec(site="transfer.attempt", effect="stall",
+                      magnitude=5.0, max_fires=1),
+        ))))
+        task = TransferTask(100.0, [0], tag="stall")
+        makespan = mgr.run([task])
+        assert task.completed
+        assert makespan == pytest.approx(15.0)  # 10s transfer + 5s stall
 
     def test_deterministic_with_seed(self):
         def run():
