@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-sanitized lint chaos chaos-soak bench bench-assert bench-smoke bench-refactor examples tables figures all clean
+.PHONY: install test test-sanitized lint chaos chaos-soak scrub-smoke bench bench-assert bench-smoke bench-refactor examples tables figures all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,7 +15,7 @@ test:
 test-sanitized:
 	RAPIDS_THREAD_SANITIZER=1 $(PYTHON) -m pytest tests/
 
-# rapidslint: project-specific static analysis (rules RPD101-RPD110).
+# rapidslint: project-specific static analysis (rules RPD101-RPD111).
 # Fails on any non-suppressed finding; suppressions need justifications.
 lint:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.cli lint src tests benchmarks examples
@@ -29,6 +29,44 @@ chaos:
 		tests/test_kvstore_stateful.py tests/test_integration_chaos.py
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.cli \
 		chaos --seed $${RAPIDS_CHAOS_SEED:-7} --verify-replay || test $$? -eq 2
+
+# End-to-end self-healing smoke (thread sanitizer on): prepare a
+# file-backed workspace, inflict at-rest damage plus an outage from a
+# crafted plan (one outage + bit rot + a deletion stays inside every
+# level's parity budget m_j, so the archive is heal-able by
+# construction — a random high-intensity plan routinely exceeds the
+# deepest level's m and is unrecoverable by design), heal it
+# (rapids scrub --repair must leave the archive healthy), then prove a
+# clean follow-up scrub and a full restore.  RAPIDS_CHAOS_SEED
+# (default 7) seeds the plan's probability draws.
+SCRUB_WS := scrub-smoke-ws
+scrub-smoke: export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+scrub-smoke: export RAPIDS_THREAD_SANITIZER := 1
+scrub-smoke:
+	rm -rf $(SCRUB_WS)
+	$(PYTHON) -c "import numpy as np; rng = np.random.default_rng(7); \
+		np.save('$(SCRUB_WS)-field.npy', \
+		rng.standard_normal((33, 33, 33)).astype(np.float32))"
+	$(PYTHON) -c "from repro.chaos import FaultPlan, FaultSpec; \
+		FaultPlan(seed=int('$${RAPIDS_CHAOS_SEED:-7}'), specs=( \
+		FaultSpec(site='system.outage', effect='outage', \
+			where={'system_id': 5}), \
+		FaultSpec(site='storage.read', effect='corrupt', \
+			where={'system_id': 3}), \
+		FaultSpec(site='storage.read', effect='error', \
+			where={'system_id': 7, 'level': 0}), \
+		)).save('$(SCRUB_WS)-plan.json')"
+	$(PYTHON) -m repro.cli prepare $(SCRUB_WS)-field.npy smoke:field \
+		--workspace $(SCRUB_WS)
+	$(PYTHON) -m repro.cli chaos --plan $(SCRUB_WS)-plan.json \
+		--workspace $(SCRUB_WS)
+	$(PYTHON) -m repro.cli scrub --workspace $(SCRUB_WS) --repair
+	$(PYTHON) -m repro.cli scrub --workspace $(SCRUB_WS) --report json
+	$(PYTHON) -m repro.cli restore smoke:field $(SCRUB_WS)-out.npy \
+		--workspace $(SCRUB_WS)
+	rm -rf $(SCRUB_WS) $(SCRUB_WS)-field.npy $(SCRUB_WS)-out.npy \
+		$(SCRUB_WS)-plan.json
+	@echo "scrub-smoke: damaged, healed, verified clean"
 
 # Time-boxed randomised soak (RAPIDS_CHAOS_SOAK_SECONDS, default 60).
 # Opt-in only: the soak is excluded from tier-1 by its env-var gate.

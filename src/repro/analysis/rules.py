@@ -26,6 +26,9 @@ RPD109    ec-implicit-dtype        EC buffers created without ``dtype=``
 RPD110    unlocked-global-cache    ``global`` rebinds and module-dict
                                    fill-on-first-use without a lock
                                    (racy under ``thread_map``)
+RPD111    unverified-payload       fragment ``.payload`` consumed in a
+                                   scope with no ``verify``/``crc32``
+                                   call (corrupt bytes reach the decoder)
 ========  =======================  ========================================
 
 (``RPD100`` is reserved by the framework for malformed / unused
@@ -50,6 +53,7 @@ __all__ = [
     "OpenNoContextRule",
     "ECImplicitDtypeRule",
     "UnlockedGlobalCacheRule",
+    "UnverifiedPayloadRule",
 ]
 
 #: Public callables of :mod:`repro.ec.gf256` that return field elements.
@@ -890,3 +894,90 @@ class UnlockedGlobalCacheRule(Rule):
             for handler in getattr(stmt, "handlers", []) or []:
                 yield from self._scan(module, handler.body, fn_name, names,
                                       dict_names, locked=now_locked)
+
+
+@register
+class UnverifiedPayloadRule(Rule):
+    """Fragment payloads consumed without checksum verification in scope.
+
+    PR 5's integrity contract: corrupt bytes never reach the erasure
+    decoder (or any other consumer) silently.  Every scope that *reads*
+    a fragment's ``.payload`` must either verify it (``verify(...)``),
+    be the producer stamping its checksum (``crc32(...)``), or carry a
+    suppression explaining why verification already happened upstream —
+    e.g. the payload came from :meth:`StorageSystem.get`, which raises
+    :class:`~repro.storage.system.CorruptFragmentError` on mismatch.
+
+    ``x.payload is None``-style presence checks are not consumption and
+    are exempt; so are stores (``frag.payload = ...``).
+    """
+
+    rule_id = "RPD111"
+    name = "unverified-payload"
+    severity = Severity.WARNING
+    description = (
+        "fragment .payload consumed in a scope without a "
+        "verify()/crc32() call"
+    )
+    rationale = "unverified fragment bytes silently corrupt decoded data"
+
+    _BLESSING = {"verify", "crc32"}
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.in_package("/repro/"):
+            return
+        scopes: list[ast.AST] = [module.tree]
+        scopes.extend(
+            n for n in ast.walk(module.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            use = self._first_unchecked_use(scope)
+            if use is None:
+                continue
+            where = getattr(scope, "name", "<module>")
+            yield self.finding(
+                module, use,
+                f"{where!r} consumes a fragment .payload with no "
+                "verify()/crc32() call in scope — corrupt bytes pass "
+                "through undetected",
+            )
+
+    def _first_unchecked_use(self, scope: ast.AST) -> ast.AST | None:
+        exempt: set[int] = set()
+        uses: list[ast.Attribute] = []
+        blessed = False
+        for node in _walk_scope(scope):
+            if isinstance(node, ast.Call):
+                fname = (
+                    node.func.id if isinstance(node.func, ast.Name)
+                    else node.func.attr if isinstance(node.func, ast.Attribute)
+                    else None
+                )
+                if fname in self._BLESSING:
+                    blessed = True
+            elif isinstance(node, ast.Compare):
+                # `x.payload is None` / `is not None`: presence check,
+                # not consumption.
+                operands = [node.left, *node.comparators]
+                if any(
+                    isinstance(o, ast.Constant) and o.value is None
+                    for o in operands
+                ):
+                    exempt.update(
+                        id(o) for o in operands
+                        if isinstance(o, ast.Attribute)
+                        and o.attr == "payload"
+                    )
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "payload"
+                and isinstance(node.ctx, ast.Load)
+            ):
+                uses.append(node)
+        if blessed:
+            return None
+        for use in sorted(uses, key=lambda n: (n.lineno, n.col_offset)):
+            if id(use) not in exempt:
+                return use
+        return None

@@ -16,6 +16,7 @@ Every injected fault is replayable from ``(seed, plan)`` alone::
     report = rapids.restore("obj")          # never raises; may degrade
 """
 
+from .atrest import inflict_at_rest
 from .degraded import DegradedRestore, LevelFailure
 from .injector import FaultInjector, FaultRecord, InjectedFault
 from .plan import EFFECTS, SITES, FaultPlan, FaultSpec
@@ -33,4 +34,5 @@ __all__ = [
     "RetryOutcome",
     "DegradedRestore",
     "LevelFailure",
+    "inflict_at_rest",
 ]

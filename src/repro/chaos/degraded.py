@@ -48,6 +48,9 @@ class DegradedRestore:
     failures: list[LevelFailure] = field(default_factory=list)
     error_bound: float | None = None
     injected_faults: dict = field(default_factory=dict)
+    #: Fragments whose payload failed CRC verification during this
+    #: restore and were absorbed as erasures (spares or EC parity).
+    corrupt_fragments: int = 0
 
     @property
     def degraded(self) -> bool:
@@ -74,6 +77,10 @@ class DegradedRestore:
             lines.append(f"  FAILED {fail.describe()}")
         if self.abandoned_levels:
             lines.append(f"  abandoned levels: {self.abandoned_levels}")
+        if self.corrupt_fragments:
+            lines.append(
+                f"  {self.corrupt_fragments} corrupt fragment(s) treated as erasures"
+            )
         for key, count in sorted(self.injected_faults.items()):
             lines.append(f"  injected {key} x{count}")
         return "\n".join(lines)

@@ -195,6 +195,49 @@ class FaultPlan:
         return cls.outages(model.sample_failed_ids(n), seed=seed, extra=extra)
 
     @classmethod
+    def from_schedule(
+        cls,
+        schedule,
+        *,
+        ops_per_unit: int = 1,
+        sites: tuple = ("storage.read", "storage.write"),
+        seed: int = 0,
+        extra=(),
+    ) -> "FaultPlan":
+        """Bridge a :class:`~repro.storage.failures.MaintenanceSchedule`
+        onto occurrence windows.
+
+        The injector has no wall clock; its time axis is the per-site
+        operation count.  Each maintenance window ``(start, end)`` for a
+        system becomes one ``scope="site"`` spec per target site that
+        errors operations on that system while the site-wide occurrence
+        counter is inside ``[start * ops_per_unit, end * ops_per_unit)``
+        — so ``ops_per_unit`` calibrates "operations per simulated time
+        unit" and the same schedule drives the same injector as any
+        random plan.  Windows already closed (or of zero length after
+        rounding) are dropped.
+        """
+        specs: list[FaultSpec] = []
+        for sid in sorted(schedule.windows):
+            for start, end in sorted(schedule.windows[sid]):
+                lo = max(0, int(start * ops_per_unit))
+                hi = int(end * ops_per_unit)
+                if hi <= lo:
+                    continue
+                for site in sites:
+                    specs.append(
+                        FaultSpec(
+                            site=site,
+                            effect="error",
+                            where={"system_id": int(sid)},
+                            start=lo,
+                            stop=hi,
+                            scope="site",
+                        )
+                    )
+        return cls(seed=seed, specs=tuple(specs) + tuple(extra))
+
+    @classmethod
     def random(
         cls,
         seed: int,

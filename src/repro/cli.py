@@ -9,6 +9,7 @@ Subcommands::
     rapids info <dir>                       describe a refactored object
     rapids lint [paths...]                  run the rapidslint static analyzer
     rapids chaos                            replay a fault plan end to end
+    rapids scrub                            verify a workspace at rest; repair
 
 The CLI operates on a simple on-disk layout: ``<dir>/component-XX.bin``
 plus a ``manifest`` container holding the reconstruction metadata.
@@ -263,6 +264,43 @@ def _chaos_round(plan, *, size: int, systems: int, strategy: str) -> dict:
     }
 
 
+def _chaos_workspace(plan, args) -> int:
+    """Persist a plan's damage into a workspace: at-rest rot + outages.
+
+    The counterpart to the synthetic round: instead of preparing a
+    throwaway object, the plan's damage specs are inflicted on the
+    fragments already resident in ``--workspace`` (deletions, bit rot,
+    truncation — checksums kept stale on purpose) and its outages are
+    marked persistently.  ``rapids scrub --repair`` heals it back.
+    """
+    from .chaos import FaultInjector, inflict_at_rest
+
+    rapids, catalog = _open_workspace(args.workspace)
+    try:
+        inflicted = inflict_at_rest(plan, rapids.cluster)
+        outages = FaultInjector(plan).apply_outages(rapids.cluster)
+    finally:
+        catalog.close()
+    if args.json:
+        print(json.dumps(
+            {"seed": plan.seed, "outages": outages, "inflicted": inflicted},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(f"plan: {plan.describe()}")
+        print(f"  outages (persisted): {outages or 'none'}")
+        counts: dict[str, int] = {}
+        for rec in inflicted:
+            counts[rec["effect"]] = counts.get(rec["effect"], 0) + 1
+        for effect, cnt in sorted(counts.items()):
+            print(f"  inflicted {effect} x{cnt}")
+        if not inflicted and not outages:
+            print("  nothing inflicted (plan has no at-rest damage specs)")
+        print(f"heal with: rapids scrub --repair "
+              f"--workspace {args.workspace}")
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     from .chaos import FaultPlan
 
@@ -281,6 +319,9 @@ def _cmd_chaos(args) -> int:
     if args.emit_plan:
         plan.save(args.emit_plan)
         plan_path = args.emit_plan
+
+    if args.workspace:
+        return _chaos_workspace(plan, args)
 
     outcome = _chaos_round(
         plan, size=args.size, systems=args.systems, strategy=args.strategy
@@ -317,6 +358,50 @@ def _cmd_chaos(args) -> int:
                   f"--systems {args.systems} (or --emit-plan to save it)")
     clean = outcome["degraded"] is None and outcome["data_sha256"] is not None
     return 0 if clean else 2
+
+
+def _cmd_scrub(args) -> int:
+    from .healing import scrub_and_repair
+
+    rapids, catalog = _open_workspace(args.workspace)
+    try:
+        scrub, repair = scrub_and_repair(
+            rapids.cluster,
+            catalog,
+            ledger=rapids.ledger,
+            max_fragments=args.max_fragments,
+            repair=args.repair,
+            dry_run=args.dry_run,
+        )
+        deficits = rapids.ledger.deficits()
+    finally:
+        catalog.close()
+    healthy = scrub.clean or (
+        args.repair
+        and not args.dry_run
+        and repair is not None
+        and not repair.failures
+        and not deficits
+    )
+    if args.report == "json":
+        print(json.dumps(
+            {
+                "scrub": scrub.to_dict(),
+                "repair": repair.to_dict() if repair is not None else None,
+                "deficits": [e.describe() for e in deficits],
+                "healthy": healthy,
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(scrub.describe())
+        if repair is not None:
+            print(repair.describe())
+        for e in deficits:
+            print(f"  DEFICIT {e.describe()}")
+        if scrub.damage and not args.repair:
+            print("re-run with --repair to heal")
+    return 0 if healthy else 2
 
 
 def _cmd_estimate_bandwidth(args) -> int:
@@ -406,7 +491,28 @@ def build_parser() -> argparse.ArgumentParser:
                     help="run the round twice and require identical outcomes")
     ch.add_argument("--json", action="store_true",
                     help="print the outcome as JSON")
+    ch.add_argument("--workspace", default=None,
+                    help="inflict the plan's damage at rest on this "
+                         "workspace (instead of a synthetic round); heal "
+                         "it back with `rapids scrub --repair`")
     ch.set_defaults(func=_cmd_chaos)
+
+    sc = sub.add_parser(
+        "scrub",
+        help="verify a workspace's fragments at rest against the "
+             "durability ledger, optionally repairing damage",
+    )
+    sc.add_argument("--workspace", default="rapids-ws")
+    sc.add_argument("--repair", action="store_true",
+                    help="regenerate damaged fragments after the sweep")
+    sc.add_argument("--dry-run", action="store_true",
+                    help="plan repairs without writing anything")
+    sc.add_argument("--max-fragments", type=int, default=None,
+                    help="rate limit: stop after about this many fragments "
+                         "and persist a cursor to resume from next run")
+    sc.add_argument("--report", choices=["text", "json"], default="text",
+                    help="output format (default: text)")
+    sc.set_defaults(func=_cmd_scrub)
 
     b = sub.add_parser("estimate-bandwidth",
                        help="synthesize Globus logs and estimate bandwidths")

@@ -140,61 +140,30 @@ class Archive:
     # -- integrity scrub (fsck) ---------------------------------------------------
 
     def scrub(self, *, repair_corrupt: bool = True) -> dict:
-        """Verify every reachable fragment against its catalog checksum.
+        """Verify every fragment at rest against the durability ledger.
 
-        The background integrity pass a production archive runs: walk
-        all fragments on available systems, CRC-check each, and (by
-        default) rebuild corrupt ones in place from clean survivors.
-        Returns ``{"checked", "corrupt", "repaired"}`` counts.
+        Delegates to the anti-entropy stack (:mod:`repro.healing`): the
+        scrubber sweeps the ledger and classifies damage, and — by
+        default — the repair engine regenerates whatever was lost or
+        rotten over the minimal-read path.  Returns the legacy
+        ``{"checked", "corrupt", "repaired"}`` counts; use
+        :func:`repro.healing.scrub_and_repair` directly for the full
+        structured reports.
         """
-        from ..formats import crc32, verify
+        from ..healing import scrub_and_repair
 
-        n = self.rapids.cluster.n
-        checked = corrupt = repaired = 0
-        for name in self.names():
-            rec = self.rapids.catalog.get_object(name)
-            for level in range(rec.num_levels):
-                cfg = ECConfig(n, rec.ft_config[level])
-                present = self.rapids.cluster.locate(name, level)
-                bad: list[int] = []
-                clean: dict[int, np.ndarray] = {}
-                for idx in sorted(present):
-                    frag = self.rapids.cluster.fetch(name, level, idx)
-                    checked += 1
-                    try:
-                        expected = self.rapids.catalog.get_fragment(
-                            name, level, idx
-                        ).checksum
-                    except KeyError:
-                        expected = 0
-                    if expected and not verify(frag.payload, expected):
-                        corrupt += 1
-                        bad.append(idx)
-                    elif len(clean) < cfg.k:
-                        clean[idx] = np.frombuffer(frag.payload, np.uint8)
-                if not bad or not repair_corrupt:
-                    continue
-                if len(clean) < cfg.k:
-                    continue  # not enough clean fragments to rebuild from
-                for idx in bad:
-                    rebuilt = self.rapids.codec.repair_fragment(
-                        cfg, clean, idx
-                    )
-                    self.rapids.cluster[idx].put(
-                        StoredFragment(
-                            name, level, idx, rebuilt.nbytes,
-                            rebuilt.tobytes(),
-                        )
-                    )
-                    # refresh the checksum record (defensive: it should
-                    # already match the original fragment's)
-                    frag_rec = self.rapids.catalog.get_fragment(
-                        name, level, idx
-                    )
-                    frag_rec.checksum = crc32(rebuilt.tobytes())
-                    self.rapids.catalog.put_fragment(frag_rec)
-                    repaired += 1
-        return {"checked": checked, "corrupt": corrupt, "repaired": repaired}
+        scrub_report, repair_report = scrub_and_repair(
+            self.rapids.cluster,
+            self.rapids.catalog,
+            ledger=self.rapids.ledger,
+            retry_policy=self.rapids.retry_policy,
+            repair=repair_corrupt,
+        )
+        return {
+            "checked": scrub_report.fragments_scanned,
+            "corrupt": scrub_report.counts().get("corrupt", 0),
+            "repaired": repair_report.repaired if repair_report else 0,
+        }
 
     # -- repair --------------------------------------------------------------------
 
@@ -216,14 +185,24 @@ class Archive:
                 missing = [i for i in range(n) if i not in present]
                 if not missing or len(present) < cfg.k:
                     continue
-                source_idx = sorted(present)[: cfg.k]
-                sources = {
-                    idx: np.frombuffer(
-                        self.rapids.cluster.fetch(name, level, idx).payload,
-                        dtype=np.uint8,
-                    )
-                    for idx in source_idx
-                }
+                # Gather exactly k clean sources; fetch() verifies the
+                # store CRC, so a corrupt survivor raises and the next
+                # present fragment takes its slot instead of poisoning
+                # the rebuild.
+                sources: dict[int, np.ndarray] = {}
+                for idx in sorted(present):
+                    if len(sources) >= cfg.k:
+                        break
+                    try:
+                        # rapidslint: disable-next=RPD111 -- fetch() verifies the stored CRC and raises CorruptFragmentError, caught below
+                        payload = self.rapids.cluster.fetch(
+                            name, level, idx
+                        ).payload
+                    except (KeyError, ValueError, OSError, RuntimeError):
+                        continue
+                    sources[idx] = np.frombuffer(payload, dtype=np.uint8)
+                if len(sources) < cfg.k:
+                    continue
                 for target in missing:
                     if not self.rapids.cluster[target].available:
                         continue

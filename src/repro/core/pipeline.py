@@ -25,12 +25,13 @@ from ..chaos.injector import InjectedFault
 from ..chaos.retry import RetryPolicy
 from ..ec import ECConfig, ErasureCodec
 from ..formats import crc32, write_fragment_file
+from ..healing.ledger import DurabilityLedger, LedgerEntry
 from ..metadata import FragmentRecord, MetadataCatalog, ObjectRecord
 from ..metadata.kvstore import CorruptionError
 from ..parallel.threads import default_workers, thread_map
 from ..refactor import Refactorer
 from ..storage import StorageCluster
-from ..storage.system import UnavailableError
+from ..storage.system import CorruptFragmentError, UnavailableError
 from ..transfer import phase_latency, refactored_distribution
 from .availability import expected_relative_error, refactored_storage_overhead
 from .ft_optimizer import FTProblem, FTSolution, heuristic
@@ -63,11 +64,11 @@ _DEGRADABLE = (
 
 #: Errors a single fragment fetch may fail with; each such fragment is
 #: treated as an erasure and replaced from a spare system.
+#: :class:`~repro.storage.system.CorruptFragmentError` is a
+#: RuntimeError, so checksum failures — raised by the storage read path
+#: itself or by the catalog cross-check below — are absorbed the same
+#: way and additionally tallied on the degraded report.
 _FETCH_ERRORS = (KeyError, ValueError, OSError, RuntimeError)
-
-
-class _CorruptFragment(RuntimeError):
-    """A fetched fragment failed its metadata checksum."""
 
 
 @dataclass
@@ -169,6 +170,11 @@ class RAPIDS:
         #: Per-fetch retry policy used by restoration; base=0 keeps the
         #: retries immediate (there is no simulated clock on this path).
         self.retry_policy = retry_policy or RetryPolicy(max_attempts=3, base=0.0)
+        #: Durability ledger (see :mod:`repro.healing`): ``prepare``
+        #: records each level's expected fragment set; ``restore``
+        #: consults the scrubbed headroom; the scrubber and repair
+        #: engine keep it honest.
+        self.ledger = DurabilityLedger(catalog)
         self.injector = None
         if injector is not None:
             self.attach_injector(injector)
@@ -259,15 +265,32 @@ class RAPIDS:
         self._register(name, obj, sol)
         for j, enc in enumerate(encoded):
             # Serialise each fragment exactly once; placement, checksum,
-            # and (above) fragment files all share the same blobs.
+            # ledger, and (above) fragment files all share the same blobs.
             blobs = enc.fragment_blobs()
+            checksums = [crc32(blob) for blob in blobs]
             if distribute:
-                self.cluster.place_level(name, j, blobs)
+                self.cluster.place_level(name, j, blobs, checksums=checksums)
             for idx, blob in enumerate(blobs):
                 self.catalog.put_fragment(
                     FragmentRecord(
                         name, j, idx, idx, len(blob),
-                        checksum=crc32(blob),
+                        checksum=checksums[idx],
+                    )
+                )
+            if distribute:
+                # The durability ledger commits the expected fragment
+                # set at full m_j headroom: the contract the scrubber
+                # verifies and the repair engine restores.
+                self.ledger.record(
+                    LedgerEntry(
+                        object_name=name,
+                        level=j,
+                        n=enc.config.n,
+                        m=enc.config.m,
+                        checksums=checksums,
+                        nbytes=[len(blob) for blob in blobs],
+                        placement=list(range(len(blobs))),
+                        headroom=enc.config.m,
                     )
                 )
         timings["metadata"] = time.perf_counter() - t0
@@ -495,6 +518,7 @@ class RAPIDS:
                 len(rec.level_errors),
             )
             levels = levels[:needed]
+        levels = self._cap_by_headroom(name, levels)
         if not levels:
             return RestoreReport(
                 name=name, data=None, levels_used=0, achieved_error=1.0,
@@ -520,9 +544,12 @@ class RAPIDS:
         t0 = time.perf_counter()
         level_ids = sorted(outcome.levels_included)
         gathered: dict[int, dict[int, np.ndarray]] = {}
+        crc_erasures: list[int] = []
         for col, j in enumerate(level_ids):
             try:
-                gathered[j] = self._gather_level(name, j, col, outcome, rec)
+                gathered[j] = self._gather_level(
+                    name, j, col, outcome, rec, crc_erasures
+                )
             except _DEGRADABLE as exc:
                 if not degrade:
                     raise
@@ -568,6 +595,7 @@ class RAPIDS:
                 failures=failures,
                 error_bound=achieved if used else None,
                 injected_faults=self._injected_since(faults_before),
+                corrupt_fragments=len(crc_erasures),
             )
         return RestoreReport(
             name=name,
@@ -578,6 +606,24 @@ class RAPIDS:
             timings=timings,
             degraded=degraded,
         )
+
+    def _cap_by_headroom(self, name: str, levels: list[int]) -> list[int]:
+        """Drop the level suffix the ledger knows to be unrecoverable.
+
+        A scrubbed headroom below zero means more fragments of that
+        level are damaged at rest than its ``m_j`` tolerates; gathering
+        it (and, per progressive reconstruction, anything deeper) would
+        only burn transfers before failing.  The ledger is advisory:
+        any fault reading it leaves the level list untouched.
+        """
+        try:
+            for pos, j in enumerate(levels):
+                entry = self.ledger.get(name, j)
+                if entry is not None and entry.headroom < 0:
+                    return levels[:pos]
+        except _DEGRADABLE:
+            pass
+        return levels
 
     def _degraded_empty(
         self, name: str, failures: list[LevelFailure], faults_before: int
@@ -712,12 +758,20 @@ class RAPIDS:
             )
         raise ValueError(f"unknown gathering strategy: {strategy!r}")
 
-    def _fetch_checked(self, name: str, j: int, i: int) -> np.ndarray:
+    def _fetch_checked(
+        self, name: str, j: int, i: int, crc_tally: list[int]
+    ) -> np.ndarray:
         """Fetch fragment ``i`` of level ``j`` and verify its checksum.
 
         Runs under the pipeline retry policy, so *transient* injected
         faults (occurrence windows that close) heal in place; persistent
         ones exhaust the retries and surface to the caller as erasures.
+        The storage read path already verifies the store's own CRC
+        (raising :class:`CorruptFragmentError` before corrupt bytes get
+        here); the catalog cross-check below additionally catches a
+        stale or swapped fragment whose store record is self-consistent.
+        Checksum failures are tallied into ``crc_tally`` for the
+        degraded report's fault counts.
         """
         from ..formats import verify
 
@@ -728,19 +782,22 @@ class RAPIDS:
             except KeyError:
                 expected = 0
             if expected and not verify(sf.payload, expected):
-                raise _CorruptFragment(
+                raise CorruptFragmentError(
                     f"fragment {i} of level {j} failed its checksum"
                 )
             return np.frombuffer(sf.payload, dtype=np.uint8)
 
         out = self.retry_policy.call(attempt, retry_on=_FETCH_ERRORS)
         if not out.ok:
+            if isinstance(out.error, CorruptFragmentError):
+                crc_tally.append(i)
             raise out.error
         return out.value
 
     def _gather_level(
         self, name: str, j: int, col: int,
         outcome: GatheringOutcome, rec: ObjectRecord,
+        crc_tally: list[int],
     ) -> dict[int, np.ndarray]:
         """Fetch one level's selected fragments, verifying integrity.
 
@@ -758,7 +815,7 @@ class RAPIDS:
         selected = [int(i) for i in np.nonzero(outcome.x[:, col])[0]]
         for i in selected:
             try:
-                frags[i] = self._fetch_checked(name, j, i)
+                frags[i] = self._fetch_checked(name, j, i, crc_tally)
             except _FETCH_ERRORS:
                 lost.append(i)
         needed = self.cluster.n - rec.ft_config[j]
@@ -772,7 +829,7 @@ class RAPIDS:
                 if len(frags) >= needed:
                     break
                 try:
-                    frags[idx] = self._fetch_checked(name, j, idx)
+                    frags[idx] = self._fetch_checked(name, j, idx, crc_tally)
                 except _FETCH_ERRORS:
                     continue
         if len(frags) < needed:

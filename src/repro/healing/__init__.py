@@ -1,0 +1,34 @@
+"""Self-healing storage: durability ledger, scrubbing, anti-entropy repair.
+
+The availability math (paper §4) holds only while every level keeps its
+full n-fragment redundancy; the chaos layer (``repro.chaos``) injects
+exactly the damage that erodes it.  This package closes the loop:
+
+* :class:`DurabilityLedger` — the catalog's authoritative record of
+  what *should* exist: per object/level, the expected fragment set with
+  CRCs and the redundancy headroom against the planned ``m_j``;
+* :class:`Scrubber` — an incremental, rate-limited, crash-resumable
+  sweep verifying fragments at rest against the ledger and classifying
+  damage (``missing`` / ``corrupt`` / ``stale-placement``);
+* :class:`RepairEngine` — regenerates exactly the damaged fragments
+  over minimal-read reconstruction, re-places them capacity-aware, and
+  charges the traffic to the WAN transfer model;
+* :func:`scrub_and_repair` — the one-call anti-entropy pass behind
+  ``rapids scrub --repair``.
+"""
+
+from .ledger import DurabilityLedger, LedgerEntry
+from .repair import RepairAction, RepairEngine, RepairReport, scrub_and_repair
+from .scrubber import Damage, Scrubber, ScrubReport
+
+__all__ = [
+    "DurabilityLedger",
+    "LedgerEntry",
+    "Scrubber",
+    "ScrubReport",
+    "Damage",
+    "RepairEngine",
+    "RepairReport",
+    "RepairAction",
+    "scrub_and_repair",
+]

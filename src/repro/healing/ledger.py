@@ -1,0 +1,164 @@
+"""The durability ledger: what fragments *should* exist, and where.
+
+The metadata catalog's ``frag/…`` records answer "where is fragment i
+right now"; the ledger answers the durability question: for each object
+level, which fragment set (with CRCs) was committed at preparation
+time, where each fragment is supposed to live, and how much redundancy
+headroom remains against the planned fault tolerance ``m_j``.  The
+scrubber verifies the store against it; the repair engine restores it.
+
+Key layout (on the same KV store as the catalog)::
+
+    ledger/<name>/<level:04d>   -> LedgerEntry (JSON)
+
+``headroom`` is ``m_j`` minus the number of known unrepaired damaged
+fragments: ``headroom == m_j`` means full redundancy, ``0`` means the
+next loss makes the level unrecoverable, ``< 0`` means it already is.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+__all__ = ["DurabilityLedger", "LedgerEntry"]
+
+_PREFIX = b"ledger/"
+
+
+def _key(object_name: str, level: int) -> bytes:
+    return f"ledger/{object_name}/{level:04d}".encode()
+
+
+@dataclass
+class LedgerEntry:
+    """Expected durable state of one erasure-coded level."""
+
+    object_name: str
+    level: int
+    n: int
+    m: int
+    checksums: list[int]  # fragment index -> CRC-32 committed at encode time
+    nbytes: list[int]     # fragment index -> payload size
+    placement: list[int]  # fragment index -> authoritative system id
+    headroom: int         # m minus known unrepaired damage
+
+    def __post_init__(self) -> None:
+        if not (len(self.checksums) == len(self.nbytes) == len(self.placement) == self.n):
+            raise ValueError("checksums/nbytes/placement must have n entries")
+
+    @property
+    def k(self) -> int:
+        """Fragments needed to decode (n - m)."""
+        return self.n - self.m
+
+    @property
+    def deficit(self) -> int:
+        """Known damaged-and-unrepaired fragment count (m - headroom)."""
+        return self.m - self.headroom
+
+    def describe(self) -> str:
+        state = "full" if self.headroom == self.m else (
+            "LOST" if self.headroom < 0 else f"headroom {self.headroom}/{self.m}"
+        )
+        return (
+            f"{self.object_name!r} level {self.level}: "
+            f"n={self.n} m={self.m} [{state}]"
+        )
+
+
+class DurabilityLedger:
+    """Typed ledger facade over the catalog's KV store.
+
+    Accepts a :class:`~repro.metadata.catalog.MetadataCatalog` (shares
+    its store — one kvstore file holds catalog and ledger, so a single
+    snapshot/restore covers both) or any object with the KV interface.
+    """
+
+    def __init__(self, store) -> None:
+        self.store = getattr(store, "store", store)
+
+    # -- record / read -----------------------------------------------------
+
+    def record(self, entry: LedgerEntry) -> None:
+        self.store.put(
+            _key(entry.object_name, entry.level),
+            json.dumps(asdict(entry)).encode(),
+        )
+
+    def get(self, object_name: str, level: int) -> LedgerEntry | None:
+        raw = self.store.get(_key(object_name, level))
+        return LedgerEntry(**json.loads(raw)) if raw is not None else None
+
+    def entries(self, object_name: str | None = None) -> list[LedgerEntry]:
+        """All entries (or one object's), in (object, level) key order."""
+        prefix = (
+            f"ledger/{object_name}/".encode() if object_name is not None else _PREFIX
+        )
+        return [
+            LedgerEntry(**json.loads(v)) for _, v in self.store.scan(prefix)
+        ]
+
+    def deficits(self) -> list[LedgerEntry]:
+        """Entries with known unrepaired damage (headroom < m)."""
+        return [e for e in self.entries() if e.headroom < e.m]
+
+    # -- mutation ----------------------------------------------------------
+
+    def set_placement(
+        self, object_name: str, level: int, index: int, system_id: int
+    ) -> None:
+        """Move fragment ``index``'s authoritative home after a repair."""
+        entry = self.get(object_name, level)
+        if entry is None:
+            raise KeyError(f"no ledger entry for ({object_name!r}, {level})")
+        entry.placement[index] = int(system_id)
+        self.record(entry)
+
+    def set_headroom(self, object_name: str, level: int, headroom: int) -> None:
+        entry = self.get(object_name, level)
+        if entry is None:
+            raise KeyError(f"no ledger entry for ({object_name!r}, {level})")
+        entry.headroom = int(headroom)
+        self.record(entry)
+
+    def delete_object(self, object_name: str) -> None:
+        for key in self.store.keys(f"ledger/{object_name}/".encode()):
+            self.store.delete(key)
+
+    # -- recovery ----------------------------------------------------------
+
+    def rebuild_from_catalog(self, catalog, *, only_missing: bool = True) -> int:
+        """Reconstruct ledger entries from catalog object/fragment records.
+
+        The ledger is derivable metadata: object records carry ``n`` and
+        the per-level ``m_j``, fragment records carry checksums, sizes
+        and locations.  Used to adopt workspaces prepared before the
+        ledger existed (and after a catalog restore from snapshot).
+        Returns the number of entries written.
+        """
+        written = 0
+        for name in catalog.list_objects():
+            rec = catalog.get_object(name)
+            for level, m in enumerate(rec.ft_config):
+                if only_missing and self.get(name, level) is not None:
+                    continue
+                frags = sorted(
+                    catalog.level_fragments(name, level), key=lambda f: f.index
+                )
+                if len(frags) != rec.n_systems:
+                    continue  # partial records: not a durable level
+                self.record(
+                    LedgerEntry(
+                        object_name=name,
+                        level=level,
+                        n=rec.n_systems,
+                        m=int(m),
+                        checksums=[f.checksum for f in frags],
+                        nbytes=[f.nbytes for f in frags],
+                        placement=[f.system_id for f in frags],
+                        headroom=int(m),
+                    )
+                )
+                written += 1
+        return written

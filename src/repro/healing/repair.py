@@ -1,0 +1,513 @@
+"""Anti-entropy repair: regenerate exactly what the scrubber found lost.
+
+The engine consumes a :class:`~repro.healing.scrubber.ScrubReport` and
+returns every damaged level to full n-fragment redundancy:
+
+* stripes are repaired in durability-risk order — smallest ledger
+  headroom first (closest to unrecoverable), then level index (coarser
+  levels matter more to progressive reconstruction);
+* a stale copy that still matches the ledger CRC is *adopted* (metadata
+  update, no data movement); redundant stale copies are cleared;
+* lost fragments are regenerated over the minimal-read path: exactly
+  ``k`` clean CRC-verified source fragments per stripe feed the cached
+  single-row :meth:`~repro.ec.codec.ErasureCodec.repair_fragment`
+  plans, however many targets the stripe needs;
+* regenerated fragments are re-placed capacity-aware
+  (:func:`~repro.storage.placement.plan_placement`) on healthy systems
+  not already hosting the stripe, preferring the original home;
+* every read and write runs under the :class:`RetryPolicy` and is
+  charged to the WAN transfer model (one request per attempt), so
+  repair traffic shows up in the same latency accounting as restores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..chaos.retry import RetryPolicy
+from ..ec import ECConfig, ErasureCodec
+from ..formats import verify
+from ..metadata import FragmentRecord
+from ..storage.placement import (
+    CapacityError,
+    CapacityTracker,
+    apply_moves,
+    plan_placement,
+    rebalance_moves,
+)
+from ..storage.system import StoredFragment
+from ..transfer import TransferRequest, phase_latency
+from .ledger import DurabilityLedger, LedgerEntry
+from .scrubber import Damage, ScrubReport, Scrubber
+
+__all__ = ["RepairEngine", "RepairReport", "RepairAction", "scrub_and_repair"]
+
+_READ_ERRORS = (KeyError, ValueError, OSError, RuntimeError)
+
+
+@dataclass
+class RepairAction:
+    """One executed (or, under ``dry_run``, planned) repair step."""
+
+    object_name: str
+    level: int
+    index: int
+    kind: str  # "regenerated" | "adopted" | "cleared-stale"
+    system_id: int  # target (regenerated/adopted) or cleared holder
+    sources: list[int] = field(default_factory=list)
+    nbytes: int = 0
+
+
+@dataclass
+class RepairReport:
+    """What a repair pass did, and what it cost on the WAN."""
+
+    actions: list[RepairAction] = field(default_factory=list)
+    failures: list[str] = field(default_factory=list)
+    dry_run: bool = False
+    read_bytes: float = 0.0
+    written_bytes: float = 0.0
+    read_attempts: int = 0
+    transfer_latency: float = 0.0
+    rebalance_moves: int = 0
+
+    @property
+    def repaired(self) -> int:
+        return sum(1 for a in self.actions if a.kind in ("regenerated", "adopted"))
+
+    def counts(self) -> dict:
+        out: dict[str, int] = {}
+        for a in self.actions:
+            out[a.kind] = out.get(a.kind, 0) + 1
+        return out
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["counts"] = self.counts()
+        return d
+
+    def describe(self) -> str:
+        verb = "would repair" if self.dry_run else "repaired"
+        lines = [
+            f"{verb} {self.repaired} fragment(s) "
+            f"({', '.join(f'{k}: {v}' for k, v in sorted(self.counts().items())) or 'nothing to do'})"
+        ]
+        lines.append(
+            f"  WAN: {self.read_bytes:.0f} B read, "
+            f"{self.written_bytes:.0f} B written, "
+            f"latency {self.transfer_latency:.3f} s"
+        )
+        for msg in self.failures:
+            lines.append(f"  FAILED {msg}")
+        return "\n".join(lines)
+
+
+class RepairEngine:
+    """Regenerates damaged fragments and restores ledger redundancy.
+
+    Parameters
+    ----------
+    cluster, catalog, ledger:
+        The storage/metadata stack being healed.
+    tracker:
+        Optional :class:`CapacityTracker`; when given, re-placement is
+        capacity-aware and ``rebalance=True`` runs a post-repair
+        rebalancing pass.  Without one, targets are chosen least-loaded.
+    retry_policy:
+        Policy for every repair read/write (default: three immediate
+        attempts, matching restore).
+    workers:
+        Thread fan-out for fragment reconstruction kernels.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        catalog,
+        ledger: DurabilityLedger,
+        *,
+        tracker: CapacityTracker | None = None,
+        retry_policy: RetryPolicy | None = None,
+        workers: int | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.catalog = catalog
+        self.ledger = ledger
+        self.tracker = tracker
+        self.retry_policy = retry_policy or RetryPolicy(max_attempts=3, base=0.0)
+        self.codec = ErasureCodec(cluster.n, workers=workers)
+        self._requests: list[TransferRequest] = []
+
+    # -- public ------------------------------------------------------------
+
+    def repair(
+        self,
+        damage: "ScrubReport | list[Damage]",
+        *,
+        dry_run: bool = False,
+        rebalance: bool = False,
+    ) -> RepairReport:
+        """Heal the damage a scrub found, riskiest stripes first."""
+        items = damage.damage if isinstance(damage, ScrubReport) else list(damage)
+        report = RepairReport(dry_run=dry_run)
+        self._requests = []
+        for entry, damaged, stale in self._prioritised(items):
+            self._repair_stripe(entry, damaged, stale, report, dry_run)
+        if rebalance and self.tracker is not None and not dry_run:
+            report.rebalance_moves = self._rebalance(report)
+        if self._requests:
+            res = phase_latency(self._requests, self.cluster.bandwidths)
+            report.transfer_latency = float(res.makespan)
+        return report
+
+    # -- prioritisation ----------------------------------------------------
+
+    def _prioritised(self, items: list[Damage]):
+        """Group damage per stripe, ordered by durability risk."""
+        grouped: dict[tuple[str, int], dict] = {}
+        for d in items:
+            g = grouped.setdefault(
+                (d.object_name, d.level), {"damaged": set(), "stale": {}}
+            )
+            if d.kind in ("missing", "corrupt"):
+                g["damaged"].add(d.index)
+            elif d.kind == "stale-placement":
+                g["stale"].setdefault(d.index, []).append(d.system_id)
+        ordered = []
+        for (name, level), g in grouped.items():
+            entry = self.ledger.get(name, level)
+            if entry is None:
+                continue  # nothing authoritative to heal against
+            ordered.append((entry, g["damaged"], g["stale"]))
+        # Smallest headroom first (closest to losing recoverability),
+        # then level importance: coarser levels gate every finer one.
+        ordered.sort(key=lambda t: (t[0].headroom, t[0].level))
+        return ordered
+
+    # -- per-stripe repair -------------------------------------------------
+
+    def _repair_stripe(
+        self,
+        entry: LedgerEntry,
+        damaged: set[int],
+        stale: dict[int, list[int]],
+        report: RepairReport,
+        dry_run: bool,
+    ) -> None:
+        name, level = entry.object_name, entry.level
+        damaged = set(damaged)
+
+        # 1. Adopt or clear stale copies.  An index whose authoritative
+        # home lost its copy but with a CRC-valid copy elsewhere needs a
+        # metadata fix, not reconstruction.
+        for index, holders in sorted(stale.items()):
+            home_ok = index not in damaged and self._home_holds(entry, index)
+            adopted = home_ok
+            for sid in holders:
+                if not adopted:
+                    payload = self._read_verified(entry, index, sid, report)
+                    if payload is not None:
+                        if not dry_run:
+                            self._point_at(entry, index, sid)
+                        report.actions.append(
+                            RepairAction(name, level, index, "adopted", sid,
+                                         nbytes=entry.nbytes[index])
+                        )
+                        adopted = True
+                        continue
+                if not dry_run:
+                    self._clear_copy(name, level, index, sid)
+                report.actions.append(
+                    RepairAction(name, level, index, "cleared-stale", sid)
+                )
+            if not adopted and not home_ok:
+                damaged.add(index)  # every stale copy was rotten too
+
+        # 2. Regenerate what is actually lost, from exactly k clean
+        # sources shared across all of the stripe's targets.
+        if not damaged:
+            if not dry_run:
+                self.ledger.set_headroom(name, level, entry.m)
+            return
+        cfg = ECConfig(entry.n, entry.m)
+        sources = self._gather_sources(entry, damaged, cfg.k, report)
+        if sources is None:
+            report.failures.append(
+                f"{name!r} level {level}: fewer than k={cfg.k} clean "
+                f"fragments survive — {sorted(damaged)} unrecoverable"
+            )
+            return
+        unrepaired: set[int] = set()
+        for index in sorted(damaged):
+            rebuilt = self.codec.repair_fragment(cfg, sources, index)
+            blob = np.ascontiguousarray(rebuilt).tobytes()
+            if not verify(blob, entry.checksums[index]):
+                report.failures.append(
+                    f"{name!r} level {level} fragment {index}: "
+                    "reconstruction does not match the ledger checksum"
+                )
+                unrepaired.add(index)
+                continue
+            target = self._place(entry, index, blob, dry_run, report)
+            if target is None:
+                unrepaired.add(index)
+                continue
+            report.actions.append(
+                RepairAction(name, level, index, "regenerated", target,
+                             sources=sorted(sources), nbytes=len(blob))
+            )
+        if not dry_run:
+            self.ledger.set_headroom(name, level, entry.m - len(unrepaired))
+
+    def _home_holds(self, entry: LedgerEntry, index: int) -> bool:
+        home = self.cluster[entry.placement[index]]
+        return home.available and home.has(entry.object_name, entry.level, index)
+
+    def _point_at(self, entry: LedgerEntry, index: int, system_id: int) -> None:
+        self.ledger.set_placement(
+            entry.object_name, entry.level, index, system_id
+        )
+        entry.placement[index] = system_id
+        self._upsert_record(entry, index, system_id)
+
+    def _clear_copy(self, name: str, level: int, index: int, sid: int) -> None:
+        system = self.cluster[sid]
+        try:
+            if system.available:
+                system.delete(name, level, index)
+        except _READ_ERRORS:
+            pass  # an unreachable stale copy is next sweep's problem
+
+    def _upsert_record(self, entry: LedgerEntry, index: int, sid: int) -> None:
+        try:
+            self.catalog.relocate_fragment(
+                entry.object_name, entry.level, index, sid
+            )
+        except KeyError:
+            self.catalog.put_fragment(
+                FragmentRecord(
+                    entry.object_name, entry.level, index, sid,
+                    entry.nbytes[index], checksum=entry.checksums[index],
+                )
+            )
+
+    # -- reads -------------------------------------------------------------
+
+    def _read_verified(
+        self, entry: LedgerEntry, index: int, system_id: int,
+        report: RepairReport,
+    ) -> bytes | None:
+        """Fetch one fragment under retry; None unless it matches the ledger."""
+        system = self.cluster[system_id]
+
+        def attempt() -> bytes:
+            frag = system.get(entry.object_name, entry.level, index)
+            if frag.payload is None or not verify(
+                frag.payload, entry.checksums[index]
+            ):
+                raise ValueError(
+                    f"fragment {index} on system {system_id} fails the "
+                    "ledger checksum"
+                )
+            return frag.payload
+
+        out = self.retry_policy.call(attempt, retry_on=_READ_ERRORS)
+        report.read_attempts += out.attempts
+        report.read_bytes += float(entry.nbytes[index]) * out.attempts
+        for _ in range(out.attempts):
+            self._requests.append(
+                TransferRequest(system_id, float(entry.nbytes[index]),
+                                tag=("repair-read", entry.level, index))
+            )
+        return out.value if out.ok else None
+
+    def _gather_sources(
+        self, entry: LedgerEntry, damaged: set[int], k: int,
+        report: RepairReport,
+    ) -> dict[int, np.ndarray] | None:
+        """Exactly ``k`` clean fragments (more only if reads fail)."""
+        sources: dict[int, np.ndarray] = {}
+        for index in range(entry.n):
+            if len(sources) >= k:
+                break
+            if index in damaged:
+                continue
+            sid = self._holder_of(entry, index)
+            if sid is None:
+                continue
+            payload = self._read_verified(entry, index, sid, report)
+            if payload is not None:
+                sources[index] = np.frombuffer(payload, dtype=np.uint8)
+        return sources if len(sources) >= k else None
+
+    def _holder_of(self, entry: LedgerEntry, index: int) -> int | None:
+        home = entry.placement[index]
+        if self.cluster[home].available and self.cluster[home].has(
+            entry.object_name, entry.level, index
+        ):
+            return home
+        for s in self.cluster.systems:
+            if s.available and s.has(entry.object_name, entry.level, index):
+                return s.system_id
+        return None
+
+    # -- placement ---------------------------------------------------------
+
+    def _place(
+        self, entry: LedgerEntry, index: int, blob: bytes,
+        dry_run: bool, report: RepairReport,
+    ) -> int | None:
+        """Write one regenerated fragment; returns the system it landed on."""
+        nbytes = entry.nbytes[index]
+        for target in self._target_candidates(entry, index, nbytes):
+            if dry_run:
+                return target
+            if self._write_fragment(entry, index, blob, target, report):
+                self._point_at(entry, index, target)
+                # Any other resident copy of this index is the damaged
+                # one we just regenerated around (e.g. the corrupt copy
+                # at the old home): clear it now rather than leaving a
+                # stale-placement finding for the next sweep.
+                for s in self.cluster.systems:
+                    if s.system_id != target and s.available and s.has(
+                        entry.object_name, entry.level, index
+                    ):
+                        self._clear_copy(
+                            entry.object_name, entry.level, index,
+                            s.system_id,
+                        )
+                return target
+        report.failures.append(
+            f"{entry.object_name!r} level {entry.level} fragment {index}: "
+            "no system could take the regenerated fragment"
+        )
+        return None
+
+    def _target_candidates(self, entry: LedgerEntry, index: int, nbytes: int):
+        """Target systems in preference order.
+
+        Home first; then systems hosting nothing of this stripe
+        (capacity-aware when a tracker is attached); as a last resort —
+        a stripe as wide as the cluster with outages leaves no empty
+        system — any available system that does not already hold *this*
+        fragment, trading placement independence for durability.
+        """
+        name, level = entry.object_name, entry.level
+        home = entry.placement[index]
+        # Systems hosting *other* fragments of this stripe; a system
+        # holding only this index's (corrupt) copy may be overwritten.
+        occupied = {
+            sid
+            for idx, sid in self.cluster.locate(name, level).items()
+            if idx != index
+        }
+        yielded: set[int] = set()
+        if self.cluster[home].available and home not in occupied:
+            if self.tracker is None or self.tracker.fits(home, nbytes):
+                yielded.add(home)
+                yield home
+        fresh: list[int] = []
+        if self.tracker is not None:
+            try:
+                fresh = plan_placement(
+                    self.tracker, float(nbytes), 1,
+                    exclude=occupied | yielded, commit=True,
+                )
+            except CapacityError:
+                fresh = []
+        else:
+            fresh = sorted(
+                (
+                    s.system_id
+                    for s in self.cluster.systems
+                    if s.available
+                    and s.system_id not in occupied
+                    and s.system_id not in yielded
+                ),
+                key=lambda sid: self.cluster[sid].used_bytes,
+            )[:1]
+        for sid in fresh:
+            yielded.add(sid)
+            yield sid
+        fallback = sorted(
+            (
+                s.system_id
+                for s in self.cluster.systems
+                if s.available
+                and s.system_id not in yielded
+                and not s.has(name, level, index)
+            ),
+            key=lambda sid: self.cluster[sid].used_bytes,
+        )
+        yield from fallback
+
+    def _write_fragment(
+        self, entry: LedgerEntry, index: int, blob: bytes, target: int,
+        report: RepairReport,
+    ) -> bool:
+        frag = StoredFragment(
+            entry.object_name, entry.level, index,
+            len(blob), blob, checksum=entry.checksums[index],
+        )
+        out = self.retry_policy.call(
+            lambda: self.cluster[target].put(frag), retry_on=_READ_ERRORS
+        )
+        for _ in range(out.attempts):
+            self._requests.append(
+                TransferRequest(target, float(entry.nbytes[index]),
+                                tag=("repair-write", entry.level, index))
+            )
+        if out.ok:
+            report.written_bytes += float(entry.nbytes[index])
+        return out.ok
+
+    # -- rebalance ---------------------------------------------------------
+
+    def _rebalance(self, report: RepairReport) -> int:
+        """Post-repair rebalancing over the capacity tracker."""
+        moves = rebalance_moves(self.tracker)
+        applied = apply_moves(self.tracker, moves, catalog=self.catalog)
+        for (obj, level, index), _src, dst in moves:
+            try:
+                if self.catalog.get_fragment(obj, level, index).system_id == dst:
+                    self.ledger.set_placement(obj, level, index, dst)
+            except KeyError:
+                continue
+        self.tracker.clear_commitments()
+        return applied
+
+
+def scrub_and_repair(
+    cluster,
+    catalog,
+    *,
+    ledger: DurabilityLedger | None = None,
+    tracker: CapacityTracker | None = None,
+    retry_policy: RetryPolicy | None = None,
+    max_fragments: int | None = None,
+    repair: bool = True,
+    dry_run: bool = False,
+    rebalance: bool = False,
+) -> tuple[ScrubReport, RepairReport | None]:
+    """One anti-entropy pass: scrub, then (optionally) repair.
+
+    Ledger entries missing for already-catalogued objects are first
+    rebuilt from the catalog, so workspaces prepared before the ledger
+    existed heal like any other.  Returns the scrub report and — when
+    ``repair`` and damage was found — the repair report.
+    """
+    ledger = ledger or DurabilityLedger(catalog)
+    ledger.rebuild_from_catalog(catalog)
+    scrub = Scrubber(
+        cluster, ledger, retry_policy=retry_policy, max_fragments=max_fragments
+    ).run()
+    rep = None
+    if repair and scrub.damage:
+        engine = RepairEngine(
+            cluster, catalog, ledger,
+            tracker=tracker, retry_policy=retry_policy,
+        )
+        rep = engine.repair(scrub, dry_run=dry_run, rebalance=rebalance)
+    return scrub, rep

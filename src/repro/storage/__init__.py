@@ -8,8 +8,19 @@ from .failures import (
     exact_k_failures,
 )
 from .filestore import FileStorageCluster, FileStorageSystem
-from .placement import CapacityError, CapacityTracker, plan_placement, rebalance_moves
-from .system import StorageSystem, StoredFragment, UnavailableError
+from .placement import (
+    CapacityError,
+    CapacityTracker,
+    apply_moves,
+    plan_placement,
+    rebalance_moves,
+)
+from .system import (
+    CorruptFragmentError,
+    StorageSystem,
+    StoredFragment,
+    UnavailableError,
+)
 
 __all__ = [
     "StorageCluster",
@@ -19,9 +30,11 @@ __all__ = [
     "CapacityError",
     "plan_placement",
     "rebalance_moves",
+    "apply_moves",
     "StorageSystem",
     "StoredFragment",
     "UnavailableError",
+    "CorruptFragmentError",
     "BernoulliFailureModel",
     "CorrelatedFailureModel",
     "MaintenanceSchedule",

@@ -11,6 +11,7 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from ..formats import crc32
 from .system import StorageSystem, StoredFragment, UnavailableError
 
 __all__ = ["StorageCluster"]
@@ -90,13 +91,18 @@ class StorageCluster:
         fragments: Sequence[bytes | np.ndarray | int],
         *,
         system_ids: Sequence[int] | None = None,
+        checksums: Sequence[int] | None = None,
     ) -> list[int]:
         """Place one level's fragments, one per storage system.
 
         ``fragments`` entries may be payload bytes/arrays or plain byte
         counts (simulated fragments).  Default placement is fragment i on
         system i, matching the paper's one-EC-fragment-per-system layout;
-        a custom ``system_ids`` permutation may be supplied.  Returns the
+        a custom ``system_ids`` permutation may be supplied.  Real
+        payloads are stored with a CRC-32 (``checksums`` passes
+        already-computed values so the pipeline hashes each blob once);
+        reads verify it, so at-rest damage surfaces as a typed
+        :class:`~repro.storage.system.CorruptFragmentError`.  Returns the
         placement (fragment index -> system id).
         """
         if system_ids is None:
@@ -109,12 +115,17 @@ class StorageCluster:
             raise ValueError(
                 f"{len(fragments)} fragments exceed cluster size {self.n}"
             )
+        if checksums is not None and len(checksums) != len(fragments):
+            raise ValueError("checksums must align with fragments")
         for idx, (frag, sid) in enumerate(zip(fragments, system_ids)):
             if isinstance(frag, (int, np.integer)):
                 sf = StoredFragment(object_name, level, idx, int(frag), None)
             else:
                 data = bytes(frag) if not isinstance(frag, bytes) else frag
-                sf = StoredFragment(object_name, level, idx, len(data), data)
+                crc = checksums[idx] if checksums is not None else crc32(data)
+                sf = StoredFragment(
+                    object_name, level, idx, len(data), data, checksum=crc
+                )
             self.systems[sid].put(sf)
         return list(system_ids)
 

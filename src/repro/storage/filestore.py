@@ -26,8 +26,8 @@ from pathlib import Path
 
 import numpy as np
 
-from ..formats import read_fragment_file, write_fragment_file
-from .system import StoredFragment, UnavailableError
+from ..formats import crc32, read_fragment_file, verify, write_fragment_file
+from .system import CorruptFragmentError, StoredFragment, UnavailableError
 
 __all__ = ["FileStorageSystem", "FileStorageCluster"]
 
@@ -91,6 +91,11 @@ class FileStorageSystem:
             index=frag.index,
             k=0,
             m=0,
+            # The payload CRC recorded at put time, not recomputed from
+            # whatever lands on disk: it is what read-path verification
+            # and the scrubber compare against.
+            extra={"crc32": frag.checksum if frag.checksum is not None
+                   else crc32(frag.payload)},
         )
         if spec is not None:
             # Torn write: keep only a prefix of the container file, then
@@ -118,9 +123,15 @@ class FileStorageSystem:
                 "filestore.read", payload, system_id=self.system_id,
                 object_name=object_name, level=level, index=index,
             )
+        expected = attrs.get("crc32")
+        if expected is not None and not verify(payload, expected):
+            raise CorruptFragmentError(
+                f"fragment ({object_name!r}, level {level}, index {index}) "
+                f"on system {self.name} failed its checksum"
+            )
         return StoredFragment(
             attrs["object_name"], attrs["level"], attrs["index"],
-            len(payload), payload,
+            len(payload), payload, checksum=expected,
         )
 
     def has(self, object_name: str, level: int, index: int) -> bool:
@@ -220,17 +231,23 @@ class FileStorageCluster:
         for s in self.systems:
             s.restore()
 
-    def place_level(self, object_name, level, fragments, *, system_ids=None):
+    def place_level(
+        self, object_name, level, fragments, *, system_ids=None, checksums=None
+    ):
         if system_ids is None:
             system_ids = list(range(len(fragments)))
         if len(system_ids) != len(fragments):
             raise ValueError("system_ids must align with fragments")
         if len(fragments) > self.n:
             raise ValueError("more fragments than systems")
+        if checksums is not None and len(checksums) != len(fragments):
+            raise ValueError("checksums must align with fragments")
         for idx, (frag, sid) in enumerate(zip(fragments, system_ids)):
             data = bytes(frag) if not isinstance(frag, bytes) else frag
+            crc = checksums[idx] if checksums is not None else crc32(data)
             self.systems[sid].put(
-                StoredFragment(object_name, level, idx, len(data), data)
+                StoredFragment(object_name, level, idx, len(data), data,
+                               checksum=crc)
             )
         return list(system_ids)
 

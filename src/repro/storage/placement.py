@@ -17,13 +17,19 @@ capacity-aware placement:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from .cluster import StorageCluster
 
-__all__ = ["CapacityTracker", "plan_placement", "rebalance_moves", "CapacityError"]
+__all__ = [
+    "CapacityTracker",
+    "plan_placement",
+    "rebalance_moves",
+    "apply_moves",
+    "CapacityError",
+]
 
 
 class CapacityError(RuntimeError):
@@ -32,10 +38,18 @@ class CapacityError(RuntimeError):
 
 @dataclass
 class CapacityTracker:
-    """Tracks per-system capacity and committed bytes for a cluster."""
+    """Tracks per-system capacity and committed bytes for a cluster.
+
+    ``used()`` counts resident bytes *plus* pending commitments —
+    placements and rebalance moves that have been planned but not yet
+    applied.  Planners register their proposals with :meth:`commit`, so
+    successive planning calls against one tracker see each other's
+    reservations instead of overcommitting the same free space.
+    """
 
     cluster: StorageCluster
     capacities: np.ndarray
+    _pending: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.capacities = np.asarray(self.capacities, dtype=np.float64)
@@ -43,9 +57,16 @@ class CapacityTracker:
             raise ValueError("capacities must align with the cluster")
         if np.any(self.capacities <= 0):
             raise ValueError("capacities must be positive")
+        self._pending = np.zeros(self.cluster.n, dtype=np.float64)
+
+    def resident(self) -> np.ndarray:
+        """Bytes physically stored per system (no commitments)."""
+        return np.array(
+            [s.used_bytes for s in self.cluster.systems], dtype=np.float64
+        )
 
     def used(self) -> np.ndarray:
-        return np.array([s.used_bytes for s in self.cluster.systems], dtype=np.float64)
+        return self.resident() + self._pending
 
     def free(self) -> np.ndarray:
         return self.capacities - self.used()
@@ -56,6 +77,26 @@ class CapacityTracker:
     def fits(self, system_id: int, nbytes: float) -> bool:
         return self.free()[system_id] >= nbytes
 
+    # -- pending commitments ------------------------------------------------
+
+    @property
+    def pending(self) -> np.ndarray:
+        """Planned-but-unapplied byte deltas per system (signed)."""
+        return self._pending.copy()
+
+    def commit(self, system_id: int, nbytes: float) -> None:
+        """Reserve (or, with a negative delta, unreserve) planned bytes."""
+        self._pending[system_id] += nbytes
+
+    def settle(self, system_id: int, nbytes: float) -> None:
+        """A planned transfer of ``nbytes`` onto/off ``system_id`` became
+        physical: drop its reservation (the bytes now show up — or no
+        longer show up — in ``resident()``)."""
+        self._pending[system_id] -= nbytes
+
+    def clear_commitments(self) -> None:
+        self._pending[:] = 0.0
+
 
 def plan_placement(
     tracker: CapacityTracker,
@@ -63,13 +104,20 @@ def plan_placement(
     n_fragments: int,
     *,
     available_only: bool = True,
+    exclude: "set[int] | frozenset[int] | tuple | list" = (),
+    commit: bool = False,
 ) -> list[int]:
     """Pick the systems for one level's fragments (one fragment each).
 
     Greedy balanced fill: repeatedly assign the next fragment to the
     system with the lowest *post-placement* utilisation that still has
-    room.  Raises :class:`CapacityError` when fewer than ``n_fragments``
-    systems can absorb a fragment.
+    room.  ``exclude`` removes systems from consideration (the repair
+    engine uses it to keep a regenerated fragment off systems already
+    hosting one of the same stripe); ``commit=True`` registers the
+    chosen placements as pending bytes on the tracker so later planning
+    calls cannot hand out the same space.  Raises
+    :class:`CapacityError` when fewer than ``n_fragments`` systems can
+    absorb a fragment.
     """
     if n_fragments < 1:
         raise ValueError("need at least one fragment")
@@ -79,10 +127,11 @@ def plan_placement(
         )
     used = tracker.used()
     caps = tracker.capacities
+    excluded = set(int(i) for i in exclude)
     eligible = [
         s.system_id
         for s in tracker.cluster.systems
-        if (s.available or not available_only)
+        if (s.available or not available_only) and s.system_id not in excluded
     ]
     chosen: list[int] = []
     for _ in range(n_fragments):
@@ -102,26 +151,39 @@ def plan_placement(
             )
         chosen.append(best)
         used[best] += fragment_bytes
+    if commit:
+        for sid in chosen:
+            tracker.commit(sid, fragment_bytes)
     return chosen
 
 
 def rebalance_moves(
-    tracker: CapacityTracker, *, max_moves: int = 16, threshold: float = 0.05
+    tracker: CapacityTracker,
+    *,
+    max_moves: int = 16,
+    threshold: float = 0.05,
+    commit: bool = True,
 ) -> list[tuple[tuple[str, int, int], int, int]]:
     """Propose fragment moves that reduce the utilisation spread.
 
     Returns ``[(fragment_key, from_system, to_system), ...]``; each move
-    takes a fragment from the most-utilised system to the least-utilised
-    one with room, stopping when the spread falls below ``threshold`` or
-    ``max_moves`` is reached.  Moves honour the one-fragment-per-system
-    rule (a system never receives a fragment of a level it already
-    hosts).
+    takes a fragment from the most-utilised *available* system to the
+    least-utilised one with room, stopping when the spread falls below
+    ``threshold`` or ``max_moves`` is reached.  Moves honour the
+    one-fragment-per-system rule (a system never receives a fragment of
+    a level it already hosts).
+
+    ``commit=True`` (the default) registers each proposal's byte deltas
+    as pending commitments on the tracker, so a ``plan_placement`` call
+    issued mid-plan sees the space these moves will consume and free;
+    :func:`apply_moves` settles the commitments as it executes them.
     """
     if max_moves < 0:
         raise ValueError("max_moves must be >= 0")
     moves = []
     used = tracker.used()
     caps = tracker.capacities
+    available = np.array([s.available for s in tracker.cluster.systems])
     # Working copy of each system's resident fragment keys.
     resident = {
         s.system_id: {f.key: f.nbytes for f in s._store.values()}
@@ -130,8 +192,13 @@ def rebalance_moves(
     }
     for _ in range(max_moves):
         utils = used / caps
-        hot = int(np.argmax(utils))
-        spread = float(utils.max() - utils.min())
+        # Unavailable systems can neither donate nor receive: mask them
+        # out of both ends instead of letting an offline hot spot stall
+        # the whole plan.
+        donor_utils = np.where(available, utils, -np.inf)
+        hot = int(np.argmax(donor_utils))
+        reachable = utils[available]
+        spread = float(reachable.max() - reachable.min()) if reachable.size else 0.0
         if spread < threshold or hot not in resident or not resident[hot]:
             break
         # Pick the hot system's largest fragment that fits somewhere colder.
@@ -157,6 +224,9 @@ def rebalance_moves(
                 moves.append((key, hot, cold))
                 used[hot] -= nbytes
                 used[cold] += nbytes
+                if commit:
+                    tracker.commit(hot, -nbytes)
+                    tracker.commit(cold, nbytes)
                 resident[cold][key] = nbytes
                 del resident[hot][key]
                 moved = True
@@ -166,3 +236,38 @@ def rebalance_moves(
         if not moved:
             break
     return moves
+
+
+def apply_moves(
+    tracker: CapacityTracker,
+    moves: list[tuple[tuple[str, int, int], int, int]],
+    *,
+    catalog=None,
+) -> int:
+    """Execute proposed moves on the tracker's cluster.
+
+    Each fragment is read from its source (through the chaos seam and
+    checksum verification — corrupt bytes are never propagated), written
+    to the destination, deleted at the source, and its pending
+    commitments settled.  ``catalog`` optionally keeps the metadata
+    catalog's fragment locations in sync.  Returns the number of moves
+    applied; a move whose source read fails is skipped with its
+    reservation left in place (the scrubber classifies the damage on its
+    next sweep; call ``tracker.clear_commitments()`` when the planning
+    session ends).
+    """
+    cluster = tracker.cluster
+    applied = 0
+    for (obj, level, index), src, dst in moves:
+        try:
+            frag = cluster[src].get(obj, level, index)
+        except (KeyError, ValueError, OSError, RuntimeError):
+            continue
+        cluster[dst].put(frag)
+        cluster[src].delete(obj, level, index)
+        tracker.settle(src, -frag.nbytes)
+        tracker.settle(dst, frag.nbytes)
+        if catalog is not None:
+            catalog.relocate_fragment(obj, level, index, dst)
+        applied += 1
+    return applied

@@ -13,7 +13,12 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
-__all__ = ["StorageSystem", "StoredFragment", "UnavailableError"]
+__all__ = [
+    "StorageSystem",
+    "StoredFragment",
+    "UnavailableError",
+    "CorruptFragmentError",
+]
 
 
 @dataclass
@@ -85,7 +90,13 @@ class StorageSystem:
             self._store[frag.key] = frag
 
     def get(self, object_name: str, level: int, index: int) -> StoredFragment:
-        """Fetch a fragment. Raises KeyError if absent, UnavailableError if down."""
+        """Fetch a fragment, verifying its checksum when one is recorded.
+
+        Raises KeyError if absent, UnavailableError if down, and
+        :class:`CorruptFragmentError` when the payload — after the chaos
+        seam's wire effects — no longer matches the checksum recorded at
+        put time: corrupt bytes never reach the erasure decoder.
+        """
         if not self.available:
             raise UnavailableError(f"system {self.name} is unavailable")
         with self._lock:
@@ -100,12 +111,21 @@ class StorageSystem:
             if payload is not frag.payload:
                 frag = StoredFragment(
                     object_name, level, index, len(payload), payload,
+                    checksum=frag.checksum,
                 )
         elif self.injector is not None:
             self.injector.check(
                 "storage.read", system_id=self.system_id,
                 object_name=object_name, level=level, index=index,
             )
+        if frag.payload is not None and frag.checksum is not None:
+            from ..formats import verify
+
+            if not verify(frag.payload, frag.checksum):
+                raise CorruptFragmentError(
+                    f"fragment ({object_name!r}, level {level}, index {index}) "
+                    f"on system {self.name} failed its checksum"
+                )
         return frag
 
     def has(self, object_name: str, level: int, index: int) -> bool:
@@ -142,3 +162,13 @@ class StorageSystem:
 
 class UnavailableError(RuntimeError):
     """Raised when an operation targets a failed/maintenance system."""
+
+
+class CorruptFragmentError(RuntimeError):
+    """A fragment payload no longer matches its recorded checksum.
+
+    Subclasses :class:`RuntimeError` so the restoration pipeline's
+    erasure handling (``_FETCH_ERRORS``) absorbs it like any other
+    per-fragment loss; the scrubber catches it explicitly to classify
+    at-rest damage as ``corrupt``.
+    """

@@ -8,6 +8,7 @@ from repro.storage import (
     CapacityTracker,
     StorageCluster,
     StoredFragment,
+    apply_moves,
     plan_placement,
     rebalance_moves,
 )
@@ -72,6 +73,36 @@ class TestPlanPlacement:
         # smallest systems (200 capacity) can only take one fragment each
         assert chosen.count(4) <= 1 and chosen.count(5) <= 1
 
+    def test_exclude(self, tracker):
+        chosen = plan_placement(tracker, 100.0, 3, exclude={0, 1})
+        assert not {0, 1} & set(chosen)
+        with pytest.raises(CapacityError):
+            plan_placement(tracker, 100.0, 5, exclude={0, 1})
+
+
+class TestCommitments:
+    def test_pending_counts_as_used(self, tracker):
+        tracker.commit(4, 150.0)
+        assert tracker.used()[4] == 150.0
+        assert not tracker.fits(4, 100.0)  # 200 cap - 150 pending
+        assert 4 not in plan_placement(tracker, 100.0, 5)
+        tracker.settle(4, 150.0)
+        assert tracker.used()[4] == 0.0
+
+    def test_committed_plan_visible_to_next_plan(self, tracker):
+        first = plan_placement(tracker, 200.0, 2, commit=True)
+        assert set(first) == {0, 1}  # largest systems win a cold start
+        # With the reservations registered, the next plan must go
+        # elsewhere; without them it would pick 0 and 1 again.
+        second = plan_placement(tracker, 100.0, 2)
+        assert set(second) == {2, 3}
+
+    def test_clear_commitments(self, tracker):
+        plan_placement(tracker, 100.0, 6, commit=True)
+        assert tracker.pending.sum() == pytest.approx(600.0)
+        tracker.clear_commitments()
+        assert tracker.pending.sum() == 0.0
+
 
 class TestRebalance:
     def test_moves_shrink_spread(self, tracker):
@@ -83,10 +114,9 @@ class TestRebalance:
         assert moves
         srcs = {m[1] for m in moves}
         assert srcs == {0}
-        # apply the moves and verify the spread shrank
-        for key, src, dst in moves:
-            frag = tracker.cluster[src]._store.pop(key)
-            tracker.cluster[dst].put(frag)
+        # execute the proposals (settling their commitments) and verify
+        # the spread shrank
+        assert apply_moves(tracker, moves) == len(moves)
         after = tracker.utilization()
         assert after.max() - after.min() < before.max() - before.min()
 
@@ -118,3 +148,64 @@ class TestRebalance:
         assert len(rebalance_moves(tracker, max_moves=2)) <= 2
         with pytest.raises(ValueError):
             rebalance_moves(tracker, max_moves=-1)
+
+    def test_proposals_register_commitments(self, tracker):
+        for lvl in range(6):
+            tracker.cluster[0].put(StoredFragment("obj", lvl, 0, 150, None))
+        moves = rebalance_moves(tracker, max_moves=10)
+        assert moves
+        pend = tracker.pending
+        assert pend[0] < 0  # the donor sheds planned bytes...
+        assert pend.sum() == pytest.approx(0.0)  # ...that receivers gain
+        # mid-plan accounting sees the reservations, not just resident
+        # bytes: the donor's projected load already excludes the moves.
+        assert tracker.used()[0] == pytest.approx(900.0 + pend[0])
+        assert apply_moves(tracker, moves) == len(moves)
+        assert np.all(tracker.pending == 0.0)
+
+    def test_unavailable_systems_neither_donate_nor_receive(self, tracker):
+        for lvl in range(6):
+            tracker.cluster[0].put(StoredFragment("obj", lvl, 0, 150, None))
+        tracker.cluster.fail([0])
+        # the only hot system is down: nothing to plan, no stall
+        assert rebalance_moves(tracker, max_moves=10) == []
+        tracker.cluster.restore_all()
+        tracker.cluster.fail([1])
+        moves = rebalance_moves(tracker, max_moves=10)
+        assert moves
+        assert all(dst != 1 for _, _, dst in moves)
+
+
+class TestApplyMoves:
+    def test_failed_read_skips_move_and_keeps_reservation(self, tracker):
+        for lvl in range(6):
+            tracker.cluster[0].put(StoredFragment("obj", lvl, 0, 150, None))
+        moves = rebalance_moves(tracker, max_moves=10)
+        assert len(moves) >= 2
+        lost_key, lost_src, lost_dst = moves[0]
+        tracker.cluster[lost_src].delete(*lost_key)
+        applied = apply_moves(tracker, moves)
+        assert applied == len(moves) - 1
+        # the skipped move's reservation stays until the planner ends
+        # the session
+        assert tracker.pending[lost_dst] == pytest.approx(150.0)
+        tracker.clear_commitments()
+        assert np.all(tracker.pending == 0.0)
+
+    def test_catalog_follows_moves(self, tracker, tmp_path):
+        from repro.metadata import FragmentRecord, MetadataCatalog
+
+        with MetadataCatalog(tmp_path / "meta") as catalog:
+            for lvl in range(6):
+                tracker.cluster[0].put(
+                    StoredFragment("obj", lvl, 0, 150, None)
+                )
+                catalog.put_fragment(
+                    FragmentRecord("obj", lvl, 0, 0, 150, checksum=0)
+                )
+            moves = rebalance_moves(tracker, max_moves=10)
+            assert apply_moves(tracker, moves, catalog=catalog) == len(moves)
+            for (obj, lvl, idx), _src, dst in moves:
+                assert catalog.get_fragment(obj, lvl, idx).system_id == dst
+                assert tracker.cluster[dst].has(obj, lvl, idx)
+                assert not tracker.cluster[0].has(obj, lvl, idx)

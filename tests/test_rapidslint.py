@@ -419,6 +419,100 @@ class TestUnlockedGlobalCache:
         assert findings == []
 
 
+class TestUnverifiedPayload:
+    def test_positive_payload_consumed_without_check(self):
+        findings = lint(
+            """
+            import numpy as np
+            def rebuild(cluster, name, level, idx):
+                frag = cluster.fetch(name, level, idx)
+                return np.frombuffer(frag.payload, dtype=np.uint8)
+            """,
+            select=["RPD111"],
+        )
+        assert rule_ids(findings) == ["RPD111"]
+        assert ".payload" in findings[0].message
+
+    def test_one_finding_per_scope_at_first_use(self):
+        findings = lint(
+            """
+            def gather(a, b):
+                return a.payload + b.payload
+            """,
+            select=["RPD111"],
+        )
+        assert len(findings) == 1
+
+    def test_negative_verify_in_scope(self):
+        findings = lint(
+            """
+            from repro.formats.checksum import verify
+            def read(frag, expected):
+                verify(frag.payload, expected)
+                return frag.payload
+            """,
+            select=["RPD111"],
+        )
+        assert findings == []
+
+    def test_negative_crc32_in_scope(self):
+        findings = lint(
+            """
+            from zlib import crc32
+            def read(frag, expected):
+                if crc32(frag.payload) != expected:
+                    raise ValueError("rot")
+                return frag.payload
+            """,
+            select=["RPD111"],
+        )
+        assert findings == []
+
+    def test_negative_none_comparison_only(self):
+        findings = lint(
+            """
+            def simulated(frag):
+                return frag.payload is None
+            """,
+            select=["RPD111"],
+        )
+        assert findings == []
+
+    def test_negative_outside_repro_package(self):
+        findings = lint(
+            "def f(frag):\n    return frag.payload\n",
+            path="tools/scratch.py",
+            select=["RPD111"],
+        )
+        assert findings == []
+
+    def test_nested_function_is_its_own_scope(self):
+        # a verify() in the outer scope does not bless a closure that
+        # consumes the payload unchecked
+        findings = lint(
+            """
+            def outer(frag, expected):
+                verify(b"", expected)
+                def attempt():
+                    return frag.payload
+                return attempt()
+            """,
+            select=["RPD111"],
+        )
+        assert rule_ids(findings) == ["RPD111"]
+
+    def test_suppression_with_justification(self):
+        findings = lint(
+            """
+            def rot(frag):
+                # rapidslint: disable-next=RPD111 -- damage site: rot is deliberate
+                return frag.payload[::-1]
+            """,
+            select=["RPD111"],
+        )
+        assert findings == []
+
+
 class TestSuppressions:
     DIRTY = "def f(x, acc=[]):  # rapidslint: disable=RPD107 -- test fixture\n    return acc\n"
 
