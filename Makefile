@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-sanitized lint chaos chaos-soak scrub-smoke bench bench-assert bench-smoke bench-refactor examples tables figures all clean
+.PHONY: install test test-sanitized lint chaos chaos-soak scrub-smoke bench bench-assert bench-smoke bench-refactor bench-procpipe examples tables figures all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,7 +15,7 @@ test:
 test-sanitized:
 	RAPIDS_THREAD_SANITIZER=1 $(PYTHON) -m pytest tests/
 
-# rapidslint: project-specific static analysis (rules RPD101-RPD111).
+# rapidslint: project-specific static analysis (rules RPD101-RPD112).
 # Fails on any non-suppressed finding; suppressions need justifications.
 lint:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.cli lint src tests benchmarks examples
@@ -81,16 +81,25 @@ bench-assert:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-disable
 
 # Fast kernel regression checks at reduced sizes: seed vs current
-# implementations, byte-identical output verified, BENCH_kernels.json
-# and BENCH_refactor.json emitted.
+# implementations, byte-identical output verified, BENCH_kernels.json,
+# BENCH_refactor.json and BENCH_procpipe.json emitted.
 bench-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_kernels.py --smoke
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_refactor.py --smoke
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_procpipe.py --smoke
 
 # Full refactoring-pipeline benchmark (64 MiB array; asserts the >= 2x
 # refactor+reconstruct speedup and the sublinear measure_errors cost).
 bench-refactor:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_refactor.py
+
+# Process-parallel streaming pipeline benchmark (64 MiB float64):
+# verifies pooled output bit-identical to serial, then asserts the
+# >= 2x end-to-end prepare speedup over the threaded path and the
+# O(tiles-in-flight) peak-RSS bound.  CI passes BENCH_ARGS=--smoke to
+# check identity and schedule sanity only.
+bench-procpipe:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_procpipe.py $(BENCH_ARGS)
 
 examples:
 	for ex in examples/*.py; do $(PYTHON) $$ex; done

@@ -29,6 +29,10 @@ RPD110    unlocked-global-cache    ``global`` rebinds and module-dict
 RPD111    unverified-payload       fragment ``.payload`` consumed in a
                                    scope with no ``verify``/``crc32``
                                    call (corrupt bytes reach the decoder)
+RPD112    procpool-callable        lambdas / nested functions / bound
+                                   methods submitted to a
+                                   ``ProcessPoolExecutor`` (not picklable
+                                   by reference; break under ``spawn``)
 ========  =======================  ========================================
 
 (``RPD100`` is reserved by the framework for malformed / unused
@@ -54,6 +58,7 @@ __all__ = [
     "ECImplicitDtypeRule",
     "UnlockedGlobalCacheRule",
     "UnverifiedPayloadRule",
+    "ProcessPoolCallableRule",
 ]
 
 #: Public callables of :mod:`repro.ec.gf256` that return field elements.
@@ -980,4 +985,122 @@ class UnverifiedPayloadRule(Rule):
         for use in sorted(uses, key=lambda n: (n.lineno, n.col_offset)):
             if id(use) not in exempt:
                 return use
+        return None
+
+
+@register
+class ProcessPoolCallableRule(Rule):
+    """Non-module-level callables submitted to a process pool.
+
+    A ``ProcessPoolExecutor`` pickles the callable by *reference*
+    (module + qualified name): lambdas and nested functions fail at
+    submission under ``spawn`` — and, worse, appear to work under
+    ``fork`` until the start method changes — while bound methods drag
+    their whole instance through the pickle on every call, exactly the
+    bulk-data-on-the-hot-path traffic the shared-memory transport
+    exists to avoid.  Stage callables must be module-level functions
+    (see ``repro.parallel.procpipe``'s ``_prepare_tile_worker``).
+    """
+
+    rule_id = "RPD112"
+    name = "procpool-callable"
+    severity = Severity.ERROR
+    description = (
+        "lambda / nested function / bound method submitted to a "
+        "ProcessPoolExecutor"
+    )
+    rationale = (
+        "only module-level functions pickle by reference portably; "
+        "anything else breaks under spawn or ships bulk state per call"
+    )
+
+    _SUBMITTERS = {"submit", "map"}
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        pools = self._pool_names(module.tree)
+        nested = self._nested_defs(module.tree)
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._SUBMITTERS
+                and node.args
+            ):
+                continue
+            receiver = node.func.value
+            direct = (
+                isinstance(receiver, ast.Call)
+                and self._is_pool_ctor(receiver)
+            )
+            named = (
+                isinstance(receiver, ast.Name) and receiver.id in pools
+            )
+            if not (direct or named):
+                continue
+            target = node.args[0]
+            problem = self._describe_problem(target, nested)
+            if problem is not None:
+                yield self.finding(
+                    module, target,
+                    f"{problem} submitted to process pool "
+                    f"'{getattr(receiver, 'id', 'ProcessPoolExecutor()')}' "
+                    "— use a module-level function (pickled by "
+                    "reference; no per-call state shipping)",
+                )
+
+    @staticmethod
+    def _is_pool_ctor(call: ast.Call) -> bool:
+        func = call.func
+        name = (
+            func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute)
+            else None
+        )
+        return name == "ProcessPoolExecutor"
+
+    def _pool_names(self, tree: ast.AST) -> set[str]:
+        """Names bound to process pools via assignment or ``with``."""
+        pools: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                if isinstance(node.value, ast.Call) and self._is_pool_ctor(
+                    node.value
+                ):
+                    pools.update(
+                        t.id for t in node.targets if isinstance(t, ast.Name)
+                    )
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if (
+                        isinstance(item.context_expr, ast.Call)
+                        and self._is_pool_ctor(item.context_expr)
+                        and isinstance(item.optional_vars, ast.Name)
+                    ):
+                        pools.add(item.optional_vars.id)
+        return pools
+
+    @staticmethod
+    def _nested_defs(tree: ast.AST) -> set[str]:
+        """Names of functions defined inside another function."""
+        nested: set[str] = set()
+        for outer in ast.walk(tree):
+            if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for inner in ast.walk(outer):
+                if inner is outer:
+                    continue
+                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    nested.add(inner.name)
+        return nested
+
+    @staticmethod
+    def _describe_problem(target: ast.AST, nested: set[str]) -> str | None:
+        if isinstance(target, ast.Lambda):
+            return "lambda"
+        if isinstance(target, ast.Name) and target.id in nested:
+            return f"nested function '{target.id}'"
+        if isinstance(target, ast.Attribute):
+            root = _root_name(target)
+            if root == "self":
+                return f"bound method 'self.{target.attr}'"
         return None

@@ -40,6 +40,7 @@ SITES = frozenset(
         "system.outage",
         "pipeline.prepare",
         "pipeline.restore",
+        "streaming.index",
     }
 )
 
@@ -64,6 +65,7 @@ _SITE_EFFECTS = {
     "ec.decode": {"error"},
     "pipeline.prepare": {"error"},
     "pipeline.restore": {"error"},
+    "streaming.index": {"error", "torn"},
     "storage.write": {"error", "torn"},
     "filestore.write": {"error", "torn"},
     "storage.read": {"error", "corrupt", "truncate", "stall"},

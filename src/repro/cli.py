@@ -119,18 +119,33 @@ def _open_workspace(workspace: str, *, systems: int | None = None):
 
 
 def _cmd_prepare(args) -> int:
-    data = np.load(args.input)
     rapids, catalog = _open_workspace(args.workspace, systems=args.systems)
+    parallelism = None if args.parallelism == "auto" else args.parallelism
     try:
         rapids.omega = args.omega
-        rep = rapids.prepare(args.name, data)
-        print(f"prepared {args.name!r}: shape {tuple(data.shape)}, "
-              f"m = {rep.ft_config}")
+        # Hand the path straight to prepare(): the process pipeline then
+        # streams tiles out of the .npy file instead of loading it whole.
+        rep = rapids.prepare(
+            args.name, args.input,
+            parallelism=parallelism,
+            processes=args.workers,
+            tile_planes=args.tile_planes,
+        )
+        print(f"prepared {args.name!r}: m = {rep.ft_config}")
         print(f"  storage overhead {rep.storage_overhead:.4f} "
               f"(budget {args.omega})")
         print(f"  expected relative error {rep.expected_error:.4e}")
         print(f"  simulated distribution latency "
               f"{rep.distribution_latency:.3f}s")
+        pp = rep.extra.get("procpipe")
+        if pp:
+            print(f"  pipeline mode {pp['mode']} "
+                  f"({pp['processes']} processes, {pp['num_tiles']} tiles, "
+                  f"{pp['max_inflight']} in flight)")
+        arch = rep.extra.get("archival")
+        if arch:
+            print(f"  pipelined archival completion {arch['completion']:.3f}s "
+                  f"(overlap saving {arch['overlap_saving']:.3f}s)")
     finally:
         catalog.close()
     return 0
@@ -149,6 +164,9 @@ def _cmd_restore(args) -> int:
             strategy=args.strategy,
             solver_budget=args.solver_budget,
             target_error=args.target_error,
+            parallelism=(None if args.parallelism == "auto"
+                         else args.parallelism),
+            processes=args.workers,
         )
         if res.data is None:
             print(f"{args.name!r}: no level recoverable under "
@@ -529,6 +547,16 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--workspace", default="rapids-ws")
     pp.add_argument("--systems", type=int, default=16)
     pp.add_argument("--omega", type=float, default=0.25)
+    pp.add_argument("--parallelism", default="auto",
+                    choices=["auto", "process", "thread", "none"],
+                    help="execution mode (auto: process pool for inputs "
+                         "of 32 MiB and up, threads otherwise)")
+    pp.add_argument("--workers", type=int, default=None,
+                    help="worker processes for --parallelism=process "
+                         "(default: affinity-aware)")
+    pp.add_argument("--tile-planes", type=int, default=None,
+                    help="axis-0 planes per tile in process mode "
+                         "(default: ~8 MiB tiles)")
     pp.set_defaults(func=_cmd_prepare)
 
     rr = sub.add_parser(
@@ -543,6 +571,11 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["random", "naive", "optimized"])
     rr.add_argument("--solver-budget", type=float, default=1.0)
     rr.add_argument("--target-error", type=float, default=None)
+    rr.add_argument("--parallelism", default="auto",
+                    choices=["auto", "process", "thread", "none"],
+                    help="reconstruction execution mode")
+    rr.add_argument("--workers", type=int, default=None,
+                    help="worker processes for --parallelism=process")
     rr.set_defaults(func=_cmd_restore)
 
     s = sub.add_parser("simulate", help="run a failure-campaign simulation")

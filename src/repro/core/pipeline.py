@@ -11,10 +11,12 @@ per-operation breakdowns fall out of the reports.
 
 from __future__ import annotations
 
+import os
 import struct
 import time
 import zlib
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -84,6 +86,9 @@ class PrepareReport:
     distribution_latency: float
     network_bytes: float
     timings: dict[str, float] = field(default_factory=dict)
+    #: Engine-specific diagnostics (e.g. the process pipeline's arena
+    #: stats and pipelined-archival schedule); empty for the thread path.
+    extra: dict = field(default_factory=dict)
 
     @property
     def total_time(self) -> float:
@@ -195,14 +200,22 @@ class RAPIDS:
     def prepare(
         self,
         name: str,
-        data: np.ndarray,
+        data: np.ndarray | str | Path,
         *,
         fragment_dir: str | Path | None = None,
         distribute: bool = True,
         transfer_service=None,
         measure_errors: bool = True,
+        parallelism: str | None = None,
+        processes: int | None = None,
+        tile_planes: int | None = None,
+        max_inflight: int | None = None,
     ) -> PrepareReport:
         """Run the full data-preparation phase for one data object.
+
+        ``data`` is the array itself or the path of a ``.npy`` file (the
+        process engine streams file sources tile-by-tile, never holding
+        the whole object resident).
 
         ``fragment_dir`` additionally writes every fragment to a
         self-describing file (the HDF5/ADIOS step of §4.1); fragments are
@@ -221,7 +234,78 @@ class RAPIDS:
         component ``j``'s erasure encode overlaps component ``j + 1``'s
         serialisation.  Timing keys are unchanged; serialisation time is
         accounted under ``ec_encode`` (the window it overlaps).
+
+        ``parallelism`` selects the execution engine: ``"process"`` runs
+        the streaming tile pipeline of :mod:`repro.parallel.procpipe`
+        (shared-memory transport, bounded peak RSS, bound-derived level
+        errors), ``"thread"`` the in-process path above, ``"none"`` the
+        thread path with every worker pool forced serial.  ``None``
+        (the default) picks ``"process"`` for objects of at least
+        ``AUTO_PROCESS_THRESHOLD`` bytes, else ``"thread"``; a
+        ``transfer_service`` always uses the thread path (the service
+        owns distribution).  ``processes``, ``tile_planes`` and
+        ``max_inflight`` tune the process engine and are ignored by the
+        other modes.
         """
+        from ..parallel import procpipe
+
+        is_path = isinstance(data, (str, Path))
+        nbytes = os.path.getsize(data) if is_path else int(data.nbytes)
+        mode = procpipe.resolve_mode(parallelism, nbytes)
+        if mode == "process" and transfer_service is not None:
+            mode = "thread"
+        if mode == "process" and not is_path:
+            data = np.asarray(data)
+            if data.ndim < 1 or data.shape[0] < 2:
+                mode = "thread"  # too small/degenerate to tile
+        if mode == "process":
+            return procpipe.prepare_tiled(
+                self, name, data,
+                processes=processes,
+                tile_planes=tile_planes,
+                max_inflight=max_inflight,
+                distribute=distribute,
+                fragment_dir=fragment_dir,
+            )
+        if is_path:
+            data = np.load(data)
+        if mode == "none":
+            with self._serial_workers():
+                return self._prepare_threaded(
+                    name, data,
+                    fragment_dir=fragment_dir, distribute=distribute,
+                    transfer_service=transfer_service,
+                    measure_errors=measure_errors,
+                )
+        return self._prepare_threaded(
+            name, data,
+            fragment_dir=fragment_dir, distribute=distribute,
+            transfer_service=transfer_service, measure_errors=measure_errors,
+        )
+
+    @contextmanager
+    def _serial_workers(self):
+        """Force every worker pool to width 1 (``parallelism="none"``)."""
+        saved = (self.ec_workers, self.refactor_workers, self.refactorer.workers)
+        self.ec_workers = 1
+        self.refactor_workers = 1
+        self.refactorer.workers = 1
+        try:
+            yield
+        finally:
+            self.ec_workers, self.refactor_workers, self.refactorer.workers = saved
+
+    def _prepare_threaded(
+        self,
+        name: str,
+        data: np.ndarray,
+        *,
+        fragment_dir: str | Path | None = None,
+        distribute: bool = True,
+        transfer_service=None,
+        measure_errors: bool = True,
+    ) -> PrepareReport:
+        """The in-process preparation engine (thread-level overlap only)."""
         timings: dict[str, float] = {}
         if self.injector is not None:
             self.injector.check("pipeline.prepare", name=name)
@@ -455,6 +539,9 @@ class RAPIDS:
         seed: int | None = 0,
         target_error: float | None = None,
         degrade: bool = True,
+        parallelism: str | None = None,
+        processes: int | None = None,
+        max_inflight: int | None = None,
     ) -> RestoreReport:
         """Run the restoration phase against the cluster's current failures.
 
@@ -475,6 +562,13 @@ class RAPIDS:
         ``degrade=False`` restores raise-on-failure behaviour.  A missing
         object always raises :class:`KeyError` — that is a caller error,
         not a fault.
+
+        Objects prepared by the process engine carry per-tile chunk
+        metadata and restore through :mod:`repro.parallel.procpipe`
+        (per-(level, tile) EC decode, pooled tile reconstruction into a
+        shared output).  ``parallelism`` / ``processes`` /
+        ``max_inflight`` tune that path the same way as in
+        :meth:`prepare`; they are ignored for untiled objects.
         """
         timings: dict[str, float] = {}
         failures: list[LevelFailure] = []
@@ -564,25 +658,49 @@ class RAPIDS:
 
         t0 = time.perf_counter()
         good_ids = sorted(gathered)
-        payloads = self._decode_prefix(good_ids, gathered, rec, degrade, failures)
-        timings["ec_decode"] = time.perf_counter() - t0
+        if "procpipe" in rec.extra:
+            from ..parallel import procpipe
 
-        t0 = time.perf_counter()
-        data = None
-        while payloads:
-            try:
-                data = self._reconstruct(rec, payloads)
-                break
-            except _DEGRADABLE as exc:
-                if not degrade:
-                    raise
-                failures.append(
-                    LevelFailure(good_ids[len(payloads) - 1], "pipeline", repr(exc))
-                )
-                payloads = payloads[:-1]
-        timings["reconstruct"] = time.perf_counter() - t0
+            payload_rows = procpipe.decode_tiled(
+                self, rec, good_ids, gathered, degrade, failures
+            )
+            timings["ec_decode"] = time.perf_counter() - t0
 
-        used = len(payloads) if data is not None else 0
+            t0 = time.perf_counter()
+            nbytes = int(
+                np.prod(rec.shape, dtype=np.int64)
+                * np.dtype(rec.dtype).itemsize
+            )
+            mode = procpipe.resolve_mode(parallelism, nbytes)
+            data, used = procpipe.reconstruct_tiled(
+                self, rec, good_ids, payload_rows,
+                processes=processes if mode == "process" else 1,
+                max_inflight=max_inflight,
+                degrade=degrade, failures=failures,
+            )
+            timings["reconstruct"] = time.perf_counter() - t0
+        else:
+            payloads = self._decode_prefix(
+                good_ids, gathered, rec, degrade, failures
+            )
+            timings["ec_decode"] = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            data = None
+            while payloads:
+                try:
+                    data = self._reconstruct(rec, payloads)
+                    break
+                except _DEGRADABLE as exc:
+                    if not degrade:
+                        raise
+                    failures.append(
+                        LevelFailure(good_ids[len(payloads) - 1], "pipeline", repr(exc))
+                    )
+                    payloads = payloads[:-1]
+            timings["reconstruct"] = time.perf_counter() - t0
+
+            used = len(payloads) if data is not None else 0
         achieved = rec.level_errors[used - 1] if used else 1.0
         degraded = None
         if failures:

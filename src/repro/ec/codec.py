@@ -15,7 +15,22 @@ import numpy as np
 
 from .reed_solomon import RSCode
 
-__all__ = ["ECConfig", "ErasureCodec", "EncodedLevel"]
+__all__ = ["ECConfig", "ErasureCodec", "EncodedLevel", "encoded_fragment_len"]
+
+
+def encoded_fragment_len(k: int, payload_len: int) -> int:
+    """Exact byte length of each fragment encoding a ``payload_len`` payload.
+
+    Mirrors :func:`repro.ec.reed_solomon.pad_to_fragments`: the payload
+    gains an 8-byte length header and is zero-padded to a multiple of
+    ``k``.  The streaming pipeline uses this to size shared-memory
+    segments and tile chunk tables before any fragment bytes exist.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if payload_len < 0:
+        raise ValueError(f"payload_len must be >= 0, got {payload_len}")
+    return -(-(payload_len + 8) // k)
 
 
 @lru_cache(maxsize=512)

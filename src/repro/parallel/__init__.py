@@ -4,13 +4,27 @@ calibrated cluster-scaling model, and the GPU batched backend."""
 from .executor import ParallelRefactorer, ParallelResult
 from .gpu import K80_MODEL, GPUDeviceModel, batched_decompose, batched_recompose
 from .partition import block_shape_for, join_blocks, split_blocks
+from .procpipe import (
+    AUTO_PROCESS_THRESHOLD,
+    SharedArena,
+    TileSource,
+    prepare_tiled,
+    reconstruct_tiled,
+    resolve_mode,
+)
 from .streaming import (
     stream_reconstruct,
     stream_reconstruct_region,
     stream_refactor,
 )
 from .threads import default_workers, thread_map
-from .tiles import TileGrid, tile_reconstruct, tile_reconstruct_roi, tile_refactor
+from .tiles import (
+    TileGrid,
+    axis0_bounds,
+    tile_reconstruct,
+    tile_reconstruct_roi,
+    tile_refactor,
+)
 from .scaling import (
     ALPINE_FS,
     ClusterScalingModel,
@@ -43,4 +57,11 @@ __all__ = [
     "tile_reconstruct_roi",
     "GPUDeviceModel",
     "K80_MODEL",
+    "AUTO_PROCESS_THRESHOLD",
+    "SharedArena",
+    "TileSource",
+    "axis0_bounds",
+    "prepare_tiled",
+    "reconstruct_tiled",
+    "resolve_mode",
 ]

@@ -12,7 +12,6 @@ inputs and tests avoid process startup costs.
 
 from __future__ import annotations
 
-import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -20,7 +19,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..refactor import RefactoredObject, Refactorer
+from ..refactor.refactorer import refactor_block
 from .partition import join_blocks, split_blocks
+from .threads import default_workers
 
 __all__ = ["ParallelRefactorer", "ParallelResult"]
 
@@ -46,7 +47,7 @@ class ParallelResult:
 def _refactor_block(args) -> RefactoredObject:
     shape, dtype, raw, kwargs = args
     block = np.frombuffer(raw, dtype=dtype).reshape(shape)
-    return Refactorer(**kwargs).refactor(block, measure_errors=False)
+    return refactor_block(block, kwargs, measure_errors=False)
 
 
 def _reconstruct_block(args) -> tuple[tuple[int, ...], str, bytes]:
@@ -68,7 +69,9 @@ class ParallelRefactorer:
 
     def __init__(self, processes: int | None = None, **refactorer_kwargs) -> None:
         if processes is None:
-            processes = os.cpu_count() or 1
+            # Affinity-aware (honours container CPU limits) — the same
+            # helper every pool in repro.parallel derives its width from.
+            processes = default_workers()
         if processes < 1:
             raise ValueError("processes must be >= 1")
         self.processes = processes

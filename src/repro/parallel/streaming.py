@@ -21,6 +21,7 @@ blocks they intersect.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -29,7 +30,51 @@ from ..refactor import Refactorer
 from ..refactor.serialization import load_archive, save_archive
 from .partition import split_blocks
 
-__all__ = ["stream_refactor", "stream_reconstruct", "stream_reconstruct_region"]
+__all__ = [
+    "stream_refactor",
+    "stream_reconstruct",
+    "stream_reconstruct_region",
+    "write_index",
+]
+
+
+def write_index(outdir: Path, index: dict, *, injector=None) -> None:
+    """Durably publish ``index.json``: write-temp, fsync, atomic rename.
+
+    The index is the directory's commit record — block archives without
+    it are unreachable — so it must never be observable half-written.
+    The temp file is fsynced before the rename (data before name) and
+    the rename is atomic on POSIX, so a crash leaves either the old
+    index or the new one, never a torn mix.
+
+    ``injector`` is the ``streaming.index`` chaos seam: ``error`` faults
+    the publish before anything is written; ``torn`` leaves a truncated
+    *temp* file behind and crashes before the rename — exactly the state
+    an interrupted publish leaves, which readers never observe because
+    ``index.json`` itself was not replaced.
+    """
+    spec = None
+    if injector is not None:
+        spec = injector.check(
+            "streaming.index", handled=("torn",), outdir=str(outdir)
+        )
+    blob = json.dumps(index).encode()
+    tmp = outdir / "index.json.tmp"
+    with open(tmp, "wb") as fh:
+        if spec is not None:
+            from ..chaos import InjectedFault
+
+            keep = min(len(blob) - 1, int(len(blob) * min(spec.magnitude, 1.0)))
+            fh.write(blob[: max(0, keep)])
+            fh.flush()
+            os.fsync(fh.fileno())
+            raise InjectedFault(
+                "streaming.index", "torn", {"outdir": str(outdir)}
+            )
+        fh.write(blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, outdir / "index.json")
 
 
 def stream_refactor(
@@ -38,13 +83,16 @@ def stream_refactor(
     *,
     block_planes: int = 64,
     refactorer: Refactorer | None = None,
+    injector=None,
 ) -> dict:
     """Refactor a large array (or ``.npy`` file) block by block.
 
     ``source`` may be an in-memory array or a path to a ``.npy`` file,
     which is memory-mapped so blocks are read lazily.  ``block_planes``
     bounds each block's extent along axis 0.  Returns the index record
-    (also written to ``outdir/index.json``).
+    (also published durably to ``outdir/index.json`` via
+    :func:`write_index`; ``injector`` is passed through to its
+    ``streaming.index`` chaos seam).
     """
     if block_planes < 2:
         raise ValueError("block_planes must be >= 2")
@@ -73,7 +121,7 @@ def stream_refactor(
         "num_blocks": num_blocks,
         "blocks": blocks_meta,
     }
-    (outdir / "index.json").write_text(json.dumps(index))
+    write_index(outdir, index, injector=injector)
     return index
 
 

@@ -26,7 +26,25 @@ R = TypeVar("R")
 
 
 def default_workers() -> int:
-    """Worker count used when callers pass ``workers=None``."""
+    """Worker count used when callers pass ``workers=None``.
+
+    Derived from the CPUs this process may actually *run on* — the
+    scheduling affinity mask (which cgroup/container CPU limits shrink)
+    — rather than ``os.cpu_count()``, which reports every core in the
+    machine and over-subscribes pools inside containers.  This is the
+    single source of truth for every pool in the project: the thread
+    fan-outs here, the process pools of :mod:`repro.parallel.executor`
+    and :mod:`repro.parallel.procpipe`.
+    """
+    try:
+        affinity = len(os.sched_getaffinity(0))
+        if affinity > 0:
+            return affinity
+    except (AttributeError, OSError):
+        pass  # platforms without sched_getaffinity (macOS, Windows)
+    process_cpus = getattr(os, "process_cpu_count", None)  # 3.13+
+    if process_cpus is not None:
+        return process_cpus() or 1
     return os.cpu_count() or 1
 
 

@@ -21,7 +21,31 @@ import numpy as np
 from ..refactor import RefactoredObject, Refactorer
 from .threads import thread_map
 
-__all__ = ["TileGrid", "tile_refactor", "tile_reconstruct", "tile_reconstruct_roi"]
+__all__ = [
+    "TileGrid",
+    "axis0_bounds",
+    "tile_refactor",
+    "tile_reconstruct",
+    "tile_reconstruct_roi",
+]
+
+
+def axis0_bounds(extent: int, num_tiles: int) -> list[tuple[int, int]]:
+    """Near-equal contiguous ``(lo, hi)`` spans covering ``range(extent)``.
+
+    The one-axis special case of :meth:`TileGrid.regular` — identical
+    clamping (every tile keeps >= 2 planes) and the same ``linspace``
+    cut points as :func:`repro.parallel.partition.split_blocks`, so the
+    process pipeline's tiles line up byte-for-byte with the block
+    decompositions used elsewhere.
+    """
+    if extent < 1:
+        raise ValueError("extent must be >= 1")
+    if num_tiles < 1:
+        raise ValueError("num_tiles must be >= 1")
+    num_tiles = min(num_tiles, max(1, extent // 2))
+    cuts = np.linspace(0, extent, num_tiles + 1).astype(int)
+    return [(int(cuts[i]), int(cuts[i + 1])) for i in range(num_tiles)]
 
 
 @dataclass(frozen=True)

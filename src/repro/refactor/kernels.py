@@ -297,6 +297,17 @@ def _plane_blob(qg: QuantisedGroup, i: int) -> bytes:
     return frame(bits_blob, pack_bits(new_signs))
 
 
+def _plane_blob_job(job: tuple[QuantisedGroup, int]) -> bytes:
+    """Stage callable for one ``(group, plane)`` bitplane-encode item.
+
+    Module-level so executors of any kind — thread pools today, process
+    pools in the streaming pipeline — can receive it (rapidslint RPD112
+    rejects non-picklable callables at process-pool submission sites).
+    """
+    qg, i = job
+    return _plane_blob(qg, i)
+
+
 def plane_payloads(
     qg: QuantisedGroup, *, workers: int | None = None
 ) -> list[bytes]:
@@ -304,7 +315,9 @@ def plane_payloads(
     if qg.num_planes == 0:
         return []
     return thread_map(
-        lambda i: _plane_blob(qg, i), range(qg.num_planes), workers=workers
+        _plane_blob_job,
+        [(qg, i) for i in range(qg.num_planes)],
+        workers=workers,
     )
 
 
@@ -331,7 +344,9 @@ def encode_groups(
     ]
     jobs = [(g, i) for g, qg in enumerate(qgs) for i in range(qg.num_planes)]
     blobs = thread_map(
-        lambda job: _plane_blob(qgs[job[0]], job[1]), jobs, workers=workers
+        _plane_blob_job,
+        [(qgs[g], i) for g, i in jobs],
+        workers=workers,
     )
     planes: list[list[bytes]] = [[] for _ in qgs]
     for (g, _i), blob in zip(jobs, blobs):

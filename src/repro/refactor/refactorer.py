@@ -31,7 +31,37 @@ from . import bitplane, components, kernels, transform
 from .error_model import relative_linf_error, theoretical_bound
 from .grid import LevelPlan, plan_levels
 
-__all__ = ["Refactorer", "RefactoredObject", "RefactorStream"]
+__all__ = [
+    "Refactorer",
+    "RefactoredObject",
+    "RefactorStream",
+    "refactor_block",
+    "reconstruct_block",
+]
+
+
+def refactor_block(
+    block: np.ndarray, config: dict, *, measure_errors: bool = False
+) -> RefactoredObject:
+    """Module-level refactor stage callable (picklable for process pools).
+
+    ``config`` holds :class:`Refactorer` constructor kwargs.  Process
+    pools can only ship module-level functions on ``spawn`` start
+    methods, so every pool in :mod:`repro.parallel` submits this (and
+    :func:`reconstruct_block`) rather than a bound method or closure.
+    """
+    return Refactorer(**config).refactor(block, measure_errors=measure_errors)
+
+
+def reconstruct_block(
+    obj: "RefactoredObject",
+    config: dict,
+    *,
+    upto: int | None = None,
+    payloads: list[bytes] | None = None,
+) -> np.ndarray:
+    """Module-level reconstruct stage callable (picklable counterpart)."""
+    return Refactorer(**config).reconstruct(obj, upto=upto, payloads=payloads)
 
 
 @dataclass

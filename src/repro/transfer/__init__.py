@@ -12,6 +12,7 @@ from .logs import (
     generate_transfer_logs,
     paper_bandwidth_profile,
 )
+from .pipelined import ArchivalSchedule, pipelined_archival
 from .scheduler import (
     duplication_distribution,
     ec_distribution,
@@ -50,4 +51,6 @@ __all__ = [
     "refactored_distribution",
     "gathering_requests",
     "phase_latency",
+    "ArchivalSchedule",
+    "pipelined_archival",
 ]

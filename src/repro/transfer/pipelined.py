@@ -1,0 +1,117 @@
+"""Pipelined archival schedule: overlap EC encode with WAN shipping.
+
+The sequential model of the preparation phase charges
+``compute + transfer``: every fragment exists before the first byte
+moves.  The streaming pipeline instead emits one *chunk* per encoded
+(tile, level) work item — each destination's fragment share becomes
+available the moment its chunk is encoded — so shipping of chunk ``c``
+overlaps the encode of chunk ``c+1`` and archival completes near
+``max(compute, transfer)``.
+
+:func:`pipelined_archival` folds the engine's recorded
+``(ready_time, chunk_nbytes)`` events through a per-destination FIFO
+link model (each destination receives its own fragment copy of every
+chunk over its estimated WAN bandwidth, in encode order) and reports
+both completions so benchmarks can show the overlap win directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ArchivalSchedule", "pipelined_archival"]
+
+
+@dataclass(frozen=True)
+class ArchivalSchedule:
+    """Completion times (seconds) of one archival run.
+
+    ``completion`` is the pipelined finish: the last destination drains
+    its FIFO of chunk transfers, each of which could start no earlier
+    than its encode finished.  ``sequential_completion`` is the classic
+    store-and-forward bound (all compute, then all transfer), and
+    ``lower_bound = max(compute_finish, transfer_makespan)`` is the best
+    any overlap schedule could do.
+    """
+
+    completion: float
+    compute_finish: float
+    transfer_makespan: float
+    num_chunks: int
+    total_bytes: float
+
+    @property
+    def sequential_completion(self) -> float:
+        return self.compute_finish + self.transfer_makespan
+
+    @property
+    def lower_bound(self) -> float:
+        return max(self.compute_finish, self.transfer_makespan)
+
+    @property
+    def overlap_saving(self) -> float:
+        """Seconds saved versus the store-and-forward schedule."""
+        return self.sequential_completion - self.completion
+
+    def as_dict(self) -> dict:
+        return {
+            "completion": self.completion,
+            "compute_finish": self.compute_finish,
+            "transfer_makespan": self.transfer_makespan,
+            "sequential_completion": self.sequential_completion,
+            "lower_bound": self.lower_bound,
+            "overlap_saving": self.overlap_saving,
+            "num_chunks": self.num_chunks,
+            "total_bytes": self.total_bytes,
+        }
+
+
+def pipelined_archival(
+    events: list[tuple[float, float]],
+    bandwidths,
+) -> ArchivalSchedule:
+    """Schedule chunk shipments against per-destination FIFO links.
+
+    Parameters
+    ----------
+    events:
+        One ``(ready_time_seconds, fragment_nbytes)`` pair per encoded
+        chunk, where ``fragment_nbytes`` is the size of the share each
+        destination receives (fragments of one level are equal-sized).
+    bandwidths:
+        Per-destination bandwidth estimates in bytes/second.
+
+    The links are independent (geo-distributed endpoints), so per
+    destination the finish recurrence is the standard FIFO queue
+    ``finish = max(finish_prev, ready) + nbytes / bw``; completion is
+    the max over destinations of the last finish.
+    """
+    bw = np.asarray(bandwidths, dtype=np.float64)
+    if bw.size == 0 or np.any(bw <= 0):
+        raise ValueError("bandwidths must be non-empty and positive")
+    if not events:
+        return ArchivalSchedule(0.0, 0.0, 0.0, 0, 0.0)
+    order = sorted(events)
+    ready = np.asarray([e[0] for e in order], dtype=np.float64)
+    nbytes = np.asarray([e[1] for e in order], dtype=np.float64)
+    if np.any(ready < 0) or np.any(nbytes < 0):
+        raise ValueError("ready times and chunk sizes must be >= 0")
+
+    # durations[c, d] = shipping time of chunk c on destination d's link.
+    durations = nbytes[:, None] / bw[None, :]
+    finish = np.zeros_like(bw)
+    for c in range(ready.size):
+        np.maximum(finish, ready[c], out=finish)
+        finish += durations[c]
+    compute_finish = float(ready[-1])
+    # Transfer-only makespan: every link busy back-to-back from t=0.
+    transfer_makespan = float(durations.sum(axis=0).max())
+    return ArchivalSchedule(
+        completion=float(finish.max()),
+        compute_finish=compute_finish,
+        transfer_makespan=transfer_makespan,
+        num_chunks=int(ready.size),
+        total_bytes=float(nbytes.sum() * bw.size),
+    )

@@ -633,3 +633,88 @@ class TestCLI:
 
         findings = json.loads(proc.stdout[: proc.stdout.rindex("]") + 1])
         assert findings[0]["rule"] == "RPD107"
+
+
+class TestProcessPoolCallable:
+    def test_positive_lambda_to_submit(self):
+        source = """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def run(items):
+            with ProcessPoolExecutor(max_workers=2) as pool:
+                return [pool.submit(lambda x: x + 1, i) for i in items]
+        """
+        findings = lint(source, select=["RPD112"])
+        assert rule_ids(findings) == ["RPD112"]
+        assert "lambda" in findings[0].message
+
+    def test_positive_nested_function_to_map(self):
+        source = """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def run(items):
+            def worker(x):
+                return x * 2
+            pool = ProcessPoolExecutor()
+            return list(pool.map(worker, items))
+        """
+        findings = lint(source, select=["RPD112"])
+        assert rule_ids(findings) == ["RPD112"]
+        assert "worker" in findings[0].message
+
+    def test_positive_bound_method(self):
+        source = """
+        from concurrent.futures import ProcessPoolExecutor
+
+        class Engine:
+            def _work(self, x):
+                return x
+
+            def run(self, items):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(self._work, items))
+        """
+        findings = lint(source, select=["RPD112"])
+        assert rule_ids(findings) == ["RPD112"]
+        assert "self._work" in findings[0].message
+
+    def test_positive_direct_constructor_call(self):
+        source = """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def run(items):
+            return ProcessPoolExecutor().map(lambda x: x, items)
+        """
+        assert rule_ids(lint(source, select=["RPD112"])) == ["RPD112"]
+
+    def test_negative_module_level_worker(self):
+        source = """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def _worker(x):
+            return x + 1
+
+        def run(items):
+            with ProcessPoolExecutor() as pool:
+                return list(pool.map(_worker, items))
+        """
+        assert lint(source, select=["RPD112"]) == []
+
+    def test_negative_thread_pool_lambda_allowed(self):
+        # Thread pools share the interpreter: no pickling, RPD103 owns
+        # their safety story.
+        source = """
+        from concurrent.futures import ThreadPoolExecutor
+
+        def run(items):
+            with ThreadPoolExecutor() as pool:
+                return list(pool.map(lambda x: x + 1, items))
+        """
+        assert lint(source, select=["RPD112"]) == []
+
+    def test_negative_unrelated_submit_method(self):
+        source = """
+        def run(queue, items):
+            return [queue.submit(lambda x: x, i) for i in items]
+        """
+        assert lint(source, select=["RPD112"]) == []

@@ -90,3 +90,48 @@ class TestRegion:
             stream_reconstruct_region(tmp_path / "s", 5, 5)
         with pytest.raises(ValueError):
             stream_reconstruct_region(tmp_path / "s", 0, 999)
+
+
+class TestDurableIndex:
+    """The index publish must be atomic and chaos-instrumentable."""
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        stream_refactor(field(), tmp_path / "s", block_planes=16)
+        assert (tmp_path / "s" / "index.json").exists()
+        assert not (tmp_path / "s" / "index.json.tmp").exists()
+
+    def test_torn_publish_preserves_previous_index(self, tmp_path):
+        from repro.chaos import FaultInjector, FaultPlan, FaultSpec, InjectedFault
+        from repro.parallel.streaming import write_index
+
+        outdir = tmp_path / "s"
+        data = field()
+        index = stream_refactor(data, outdir, block_planes=16)
+        before = (outdir / "index.json").read_bytes()
+
+        replacement = {"shape": [1], "dtype": "f", "num_blocks": 0,
+                       "blocks": []}
+        plan = FaultPlan(specs=(
+            FaultSpec(site="streaming.index", effect="torn", magnitude=0.3),
+        ))
+        with pytest.raises(InjectedFault):
+            write_index(outdir, replacement, injector=FaultInjector(plan))
+        # The committed index is untouched: readers never see the tear.
+        assert (outdir / "index.json").read_bytes() == before
+        torn = (outdir / "index.json.tmp").read_bytes()
+        assert 0 < len(torn) < len(json.dumps(replacement))
+        back = stream_reconstruct(outdir)  # directory still restores
+        assert back.shape == data.shape
+
+    def test_error_fault_raises_before_write(self, tmp_path):
+        from repro.chaos import FaultInjector, FaultPlan, FaultSpec, InjectedFault
+
+        outdir = tmp_path / "s"
+        outdir.mkdir()
+        plan = FaultPlan(specs=(
+            FaultSpec(site="streaming.index", effect="error"),
+        ))
+        with pytest.raises(InjectedFault):
+            stream_refactor(field(), outdir, block_planes=16,
+                            injector=FaultInjector(plan))
+        assert not (outdir / "index.json").exists()
