@@ -1,0 +1,114 @@
+"""Lint wall-time budget: incremental re-lint must stay under 25% of cold.
+
+The incremental cache (``repro.analysis.cache``) is a performance
+contract, not a convenience — CI runs ``rapids lint`` on every matrix
+entry, and the cache is what keeps that honest.  This bench measures the
+contract directly so it cannot silently regress:
+
+1. copy the tree to a scratch dir (the repo itself is never mutated),
+2. cold full-tree lint with a fresh cache (populates it),
+3. append one comment line to one source file,
+4. re-lint through the cache,
+5. assert ``warm < BUDGET_RATIO * cold``.
+
+Both runs are timed in-process around :func:`repro.analysis.run_lint`,
+so interpreter/numpy startup (identical for both) doesn't flatten the
+ratio.  Writes a JSON report (for the CI artifact) and exits non-zero
+on a budget breach.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_lint.py [--json out.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis import run_lint
+
+#: Incremental re-lint of a one-file change must finish in under this
+#: fraction of the cold full-tree time.
+BUDGET_RATIO = 0.25
+#: Noise floor: on machines where the warm run is this fast in absolute
+#: terms, the cache is plainly working regardless of the ratio.
+FLOOR_SECONDS = 0.35
+
+LINT_DIRS = ["src", "tests", "benchmarks", "examples"]
+TOUCH_FILE = "src/repro/transfer/logs.py"
+
+
+def _discard(*args, **kwargs) -> None:
+    pass
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the timing report to this file")
+    args = parser.parse_args(argv)
+
+    repo = Path(__file__).resolve().parent.parent
+    with tempfile.TemporaryDirectory(prefix="bench-lint-") as tmp:
+        work = Path(tmp)
+        for d in LINT_DIRS:
+            shutil.copytree(repo / d, work / d,
+                            ignore=shutil.ignore_patterns("__pycache__"))
+        cache = work / ".rapidslint-cache.json"
+        dirs = [str(work / d) for d in LINT_DIRS]
+
+        t0 = time.perf_counter()
+        rc_cold = run_lint(dirs, output=_discard, cache_path=str(cache))
+        cold = time.perf_counter() - t0
+
+        touched = work / TOUCH_FILE
+        with open(touched, "a", encoding="utf-8") as fh:
+            fh.write("\n# bench_lint: one-line incremental change\n")
+
+        t1 = time.perf_counter()
+        rc_warm = run_lint(dirs, output=_discard, cache_path=str(cache))
+        warm = time.perf_counter() - t1
+
+    ratio = warm / cold if cold > 0 else float("inf")
+    ok = (warm < BUDGET_RATIO * cold) or (warm < FLOOR_SECONDS)
+    report = {
+        "cold_seconds": round(cold, 4),
+        "warm_seconds": round(warm, 4),
+        "ratio": round(ratio, 4),
+        "budget_ratio": BUDGET_RATIO,
+        "floor_seconds": FLOOR_SECONDS,
+        "cold_exit_code": rc_cold,
+        "warm_exit_code": rc_warm,
+        "within_budget": ok,
+    }
+    print(json.dumps(report, indent=2))
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2))
+
+    if rc_cold != 0 or rc_warm != 0:
+        print("bench_lint: lint itself failed — fix findings first",
+              file=sys.stderr)
+        return 2
+    if not ok:
+        print(
+            f"bench_lint: BUDGET BREACH — incremental re-lint took "
+            f"{warm:.2f}s, {ratio:.0%} of the {cold:.2f}s cold run "
+            f"(budget {BUDGET_RATIO:.0%})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"bench_lint: incremental re-lint {warm:.2f}s = {ratio:.0%} of "
+        f"cold {cold:.2f}s (budget {BUDGET_RATIO:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,158 @@
+"""Content-hash incremental cache for ``rapids lint``.
+
+The cold full-tree lint costs seconds; a CI matrix running it per entry
+and a developer re-linting after a one-line edit should pay only for
+what changed.  The cache persists, per analyzed file, everything the
+driver needs to skip re-parsing it:
+
+* the raw per-file findings of **all** registered local rules (selection
+  with ``--select`` is applied at combine time, so one cache serves any
+  rule subset),
+* the suppression table parsed from its comments,
+* its :class:`~repro.analysis.callgraph.ModuleSummary` — which is what
+  lets the *interprocedural* rules run incrementally: the call graph is
+  relinked from summaries (cheap), not from re-parsed ASTs (expensive).
+
+Project-wide findings are cached against a *project fingerprint* (hash
+of every member file's content hash), so a no-op re-lint skips the
+whole-program pass too, while any single-file edit invalidates exactly
+the project section plus that file's entry.
+
+The whole cache is keyed by an *engine fingerprint* — a hash over the
+source of the :mod:`repro.analysis` package itself — so editing any
+rule, the CFG builder, or this module silently discards stale entries
+rather than serving results computed by old code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "LintCache",
+    "DEFAULT_CACHE_PATH",
+    "engine_fingerprint",
+    "content_hash",
+]
+
+DEFAULT_CACHE_PATH = ".rapidslint-cache.json"
+_VERSION = 1
+
+
+def engine_fingerprint() -> str:
+    """Hash of the analysis package's own sources."""
+    pkg = Path(__file__).resolve().parent
+    h = hashlib.sha256()
+    for p in sorted(pkg.glob("*.py")):
+        h.update(p.name.encode())
+        try:
+            h.update(p.read_bytes())
+        except OSError:
+            continue
+    return h.hexdigest()[:16]
+
+
+def content_hash(source: str) -> str:
+    """Stable per-file cache key for one source text."""
+    return hashlib.sha256(source.encode("utf-8", "replace")).hexdigest()[:24]
+
+
+class LintCache:
+    """Per-file + project-level lint result cache.
+
+    Structure on disk (one JSON document)::
+
+        {"version": 1, "engine": "<fp>",
+         "files": {"<posix path>": {"hash": ..., "findings": [...],
+                                    "suppressions": [...], "summary": {...}}},
+         "project": {"fingerprint": "<fp>", "findings": [...]}}
+    """
+
+    def __init__(self, path: str | os.PathLike[str] | None = None,
+                 *, enabled: bool = True) -> None:
+        self.path = Path(path or DEFAULT_CACHE_PATH)
+        self.enabled = enabled
+        self.engine = engine_fingerprint()
+        self.files: dict[str, dict[str, Any]] = {}
+        self.project: dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        if enabled:
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict) or data.get("version") != _VERSION:
+            return
+        if data.get("engine") != self.engine:
+            return  # engine changed: every cached result is suspect
+        files = data.get("files")
+        if isinstance(files, dict):
+            self.files = files
+        project = data.get("project")
+        if isinstance(project, dict):
+            self.project = project
+
+    def save(self) -> None:
+        if not self.enabled:
+            return
+        doc = {
+            "version": _VERSION,
+            "engine": self.engine,
+            "files": self.files,
+            "project": self.project,
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        try:
+            tmp.write_text(json.dumps(doc), encoding="utf-8")
+            os.replace(tmp, self.path)
+        except OSError:
+            pass  # a cache that can't persist is only a slowdown
+
+    # -- per-file entries --------------------------------------------------
+
+    def lookup(self, posix_path: str, source_hash: str) -> dict[str, Any] | None:
+        entry = self.files.get(posix_path)
+        if entry is not None and entry.get("hash") == source_hash:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def store(self, posix_path: str, source_hash: str,
+              entry: dict[str, Any]) -> None:
+        entry = dict(entry)
+        entry["hash"] = source_hash
+        self.files[posix_path] = entry
+
+    def prune(self, live_paths: set[str]) -> None:
+        """Drop entries for files no longer part of the lint set."""
+        for stale in set(self.files) - live_paths:
+            del self.files[stale]
+
+    # -- project section ---------------------------------------------------
+
+    @staticmethod
+    def project_fingerprint(file_hashes: dict[str, str]) -> str:
+        h = hashlib.sha256()
+        for path in sorted(file_hashes):
+            h.update(path.encode())
+            h.update(file_hashes[path].encode())
+        return h.hexdigest()[:24]
+
+    def lookup_project(self, fingerprint: str) -> list[Any] | None:
+        if self.project.get("fingerprint") == fingerprint:
+            findings = self.project.get("findings")
+            if isinstance(findings, list):
+                return findings
+        return None
+
+    def store_project(self, fingerprint: str, findings: list[Any]) -> None:
+        self.project = {"fingerprint": fingerprint, "findings": findings}

@@ -1,0 +1,427 @@
+"""Per-function control-flow graphs with exception edges.
+
+The whole-program rules (RPD113-RPD116) and the resource-lifecycle
+dataflow need to reason about *paths* through a function, not just the
+set of nodes in its AST: "is this ``lease`` released on every path,
+including the one where ``fut.result()`` raises?" is unanswerable
+without explicit exception edges.
+
+The CFG built here is statement-granular — every simple statement gets
+its own :class:`Block` — because exception edges leave the *middle* of
+what a coarser builder would call one basic block, and the dataflow
+layer (:mod:`repro.analysis.dataflow`) wants the state at exactly the
+raise point.  Design decisions, all biased toward the leak/lock rules
+that consume the graph:
+
+* ``try``/``except``/``else``/``finally`` are modelled with a synthetic
+  *except-dispatch* block (exception edges from every may-raise
+  statement in the body) and a single ``finally`` region whose out-edges
+  conservatively cover normal completion, the re-raise path, and — when
+  the protected region contains ``return``/``break``/``continue`` —
+  the corresponding jump targets.
+* ``with`` bodies get a pair of synthetic *with-cleanup* blocks (normal
+  and exceptional __exit__) carrying the context-expression chains, so
+  a dataflow client can apply context-manager release semantics on both
+  paths.  ``cfg.enclosing_withs`` additionally maps every statement to
+  the ``with`` items active around it (used for ``return``, which jumps
+  straight to the exit block).
+* A statement *may raise* iff it contains a call, ``raise``, ``assert``
+  or ``await`` — attribute access and arithmetic are deliberately not
+  counted, trading soundness for a signal-to-noise ratio the lint gate
+  can live with.
+* Two exit blocks: ``cfg.exit`` (return / fall-off) and ``cfg.exc_exit``
+  (an exception escaping the function).  A resource live at
+  ``exc_exit`` is exactly "leaked on an exception path".
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "EDGE_NORMAL",
+    "EDGE_EXC",
+    "EDGE_LOOP",
+    "Block",
+    "CFG",
+    "build_cfg",
+    "may_raise",
+    "attr_chain",
+]
+
+EDGE_NORMAL = "normal"
+EDGE_EXC = "exception"
+EDGE_LOOP = "loop"
+
+_FUNC_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+_RAISERS = (ast.Call, ast.Raise, ast.Assert, ast.Await)
+
+
+def attr_chain(node: ast.AST) -> str:
+    """Render an ``a.b.c`` attribute chain; '' for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _walk_no_defs(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node`` without descending into nested function scopes."""
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        yield n
+        if not isinstance(n, _FUNC_SCOPES):
+            stack.extend(ast.iter_child_nodes(n))
+
+
+def may_raise(node: ast.AST) -> bool:
+    """Heuristic: does evaluating ``node`` potentially raise?
+
+    Calls, explicit ``raise``, ``assert`` and ``await`` count; attribute
+    access, subscripts and arithmetic deliberately do not (they raise in
+    principle but flagging every one drowns the rules in noise).
+    """
+    return any(isinstance(n, _RAISERS) for n in _walk_no_defs(node))
+
+
+class Block:
+    """One CFG node: at most one statement, or a synthetic label."""
+
+    def __init__(self, idx: int, label: str = "") -> None:
+        self.idx = idx
+        self.label = label
+        self.stmts: list[ast.stmt] = []
+        self.succs: list[tuple["Block", str]] = []
+        self.preds: list[tuple["Block", str]] = []
+        #: On ``with-cleanup`` blocks: the (context-expr chain, as-name)
+        #: pairs of the ``with`` statement this block exits.
+        self.with_items: list[tuple[str, str | None]] = []
+
+    def edge(self, other: "Block | None", kind: str = EDGE_NORMAL) -> None:
+        if other is None:
+            return
+        for b, k in self.succs:
+            if b is other and k == kind:
+                return
+        self.succs.append((other, kind))
+        other.preds.append((self, kind))
+
+    def __repr__(self) -> str:  # debugging aid
+        what = self.label or (
+            type(self.stmts[0]).__name__ if self.stmts else "?"
+        )
+        return f"<Block {self.idx} {what}>"
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self, fn: ast.AST) -> None:
+        self.fn = fn
+        self.blocks: list[Block] = []
+        self.entry = self.new_block("entry")
+        self.exit = self.new_block("exit")
+        self.exc_exit = self.new_block("exc-exit")
+        #: ``id(stmt)`` -> the with items active around that statement
+        #: (innermost last), for clients that must apply __exit__
+        #: semantics at a ``return``.
+        self.enclosing_withs: dict[int, tuple[tuple[str, str | None], ...]] = {}
+        #: ``id(stmt)`` -> owning block, for tests and clients.
+        self.block_of: dict[int, Block] = {}
+
+    def new_block(self, label: str = "") -> Block:
+        b = Block(len(self.blocks), label)
+        self.blocks.append(b)
+        return b
+
+    def reachable(self) -> set[Block]:
+        seen: set[int] = set()
+        order: list[Block] = []
+        stack = [self.entry]
+        while stack:
+            b = stack.pop()
+            if b.idx in seen:
+                continue
+            seen.add(b.idx)
+            order.append(b)
+            stack.extend(s for s, _ in b.succs)
+        return set(order)
+
+    def unreachable_stmts(self) -> list[ast.stmt]:
+        """Statements in blocks no path from the entry reaches."""
+        live = {b.idx for b in self.reachable()}
+        return [
+            s for b in self.blocks if b.idx not in live for s in b.stmts
+        ]
+
+    def statements(self) -> list[ast.stmt]:
+        return [s for b in self.blocks for s in b.stmts]
+
+
+def build_cfg(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the statement-level CFG of one function definition."""
+    cfg = CFG(fn)
+    builder = _Builder(cfg)
+    end = builder.seq(fn.body, cfg.entry)
+    if end is not None:
+        end.edge(cfg.exit)
+    return cfg
+
+
+def _jump_kinds(stmts: list[ast.stmt]) -> set[str]:
+    """Which of return/break/continue occur in ``stmts`` (not crossing
+    nested function scopes, and not counting jumps that stay inside a
+    nested loop for break/continue)."""
+    kinds: set[str] = set()
+
+    def scan(body, loop_depth):
+        for s in body:
+            if isinstance(s, ast.Return):
+                kinds.add("return")
+            elif isinstance(s, ast.Break) and loop_depth == 0:
+                kinds.add("break")
+            elif isinstance(s, ast.Continue) and loop_depth == 0:
+                kinds.add("continue")
+            elif isinstance(s, _FUNC_SCOPES):
+                continue
+            inner = loop_depth + (1 if isinstance(s, (ast.For, ast.While,
+                                                      ast.AsyncFor)) else 0)
+            for field in ("body", "orelse", "finalbody"):
+                scan(getattr(s, field, []) or [], inner)
+            for h in getattr(s, "handlers", []) or []:
+                scan(h.body, inner)
+
+    scan(stmts, 0)
+    return kinds
+
+
+class _Builder:
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self.raise_stack: list[Block] = [cfg.exc_exit]
+        self.finally_stack: list[Block] = []
+        self.loop_stack: list[tuple[Block, Block]] = []  # (head, after)
+        self.with_stack: list[tuple[str, str | None]] = []
+
+    # -- helpers -----------------------------------------------------------
+
+    def raise_target(self) -> Block:
+        return self.raise_stack[-1]
+
+    def _stmt_block(self, stmt: ast.stmt, pred: Block | None) -> Block:
+        blk = self.cfg.new_block()
+        blk.stmts = [stmt]
+        self.cfg.block_of[id(stmt)] = blk
+        self.cfg.enclosing_withs[id(stmt)] = tuple(self.with_stack)
+        if pred is not None:
+            pred.edge(blk)
+        return blk
+
+    # -- statement sequences -----------------------------------------------
+
+    def seq(self, stmts: list[ast.stmt], pred: Block | None) -> Block | None:
+        cur = pred
+        for stmt in stmts:
+            cur = self.build(stmt, cur)
+        return cur
+
+    def build(self, stmt: ast.stmt, pred: Block | None) -> Block | None:
+        if isinstance(stmt, ast.If):
+            return self._build_if(stmt, pred)
+        if isinstance(stmt, (ast.While,)):
+            return self._build_loop(stmt, pred, test=stmt.test)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._build_loop(stmt, pred, test=stmt.iter)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, pred)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._build_with(stmt, pred)
+        return self._build_simple(stmt, pred)
+
+    def _build_simple(self, stmt: ast.stmt, pred: Block | None) -> Block | None:
+        blk = self._stmt_block(stmt, pred)
+        if may_raise(stmt):
+            blk.edge(self.raise_target(), EDGE_EXC)
+        if isinstance(stmt, ast.Return):
+            # A return inside try/finally executes the finally suite
+            # first; the Try builder adds the finally -> exit edge.
+            if self.finally_stack:
+                blk.edge(self.finally_stack[-1])
+            else:
+                blk.edge(self.cfg.exit)
+            return None
+        if isinstance(stmt, ast.Raise):
+            blk.edge(self.raise_target(), EDGE_EXC)
+            return None
+        if isinstance(stmt, ast.Break):
+            if self.finally_stack:
+                blk.edge(self.finally_stack[-1])
+            elif self.loop_stack:
+                blk.edge(self.loop_stack[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            if self.finally_stack:
+                blk.edge(self.finally_stack[-1])
+            elif self.loop_stack:
+                blk.edge(self.loop_stack[-1][0], EDGE_LOOP)
+            return None
+        return blk
+
+    def _build_if(self, stmt: ast.If, pred: Block | None) -> Block | None:
+        head = self._stmt_block(stmt, pred)
+        if may_raise(stmt.test):
+            head.edge(self.raise_target(), EDGE_EXC)
+        join = self.cfg.new_block("join")
+        body_end = self.seq(stmt.body, head)
+        if body_end is not None:
+            body_end.edge(join)
+        if stmt.orelse:
+            else_end = self.seq(stmt.orelse, head)
+            if else_end is not None:
+                else_end.edge(join)
+        else:
+            head.edge(join)
+        return join if join.preds else None
+
+    def _build_loop(self, stmt, pred: Block | None, *, test) -> Block | None:
+        head = self._stmt_block(stmt, pred)
+        if may_raise(test):
+            head.edge(self.raise_target(), EDGE_EXC)
+        after = self.cfg.new_block("loop-after")
+        self.loop_stack.append((head, after))
+        body_end = self.seq(stmt.body, head)
+        if body_end is not None:
+            body_end.edge(head, EDGE_LOOP)
+        self.loop_stack.pop()
+        if stmt.orelse:
+            else_end = self.seq(stmt.orelse, head)
+            if else_end is not None:
+                else_end.edge(after)
+        else:
+            head.edge(after)
+        return after if after.preds else None
+
+    def _build_with(self, stmt, pred: Block | None) -> Block | None:
+        head = self._stmt_block(stmt, pred)
+        items: list[tuple[str, str | None]] = []
+        for item in stmt.items:
+            ctx = item.context_expr
+            chain = attr_chain(ctx)
+            if not chain and isinstance(ctx, ast.Call):
+                chain = attr_chain(ctx.func)
+            asname = (
+                item.optional_vars.id
+                if isinstance(item.optional_vars, ast.Name)
+                else None
+            )
+            items.append((chain, asname))
+            if may_raise(ctx):
+                # __enter__ failing does NOT run __exit__.
+                head.edge(self.raise_target(), EDGE_EXC)
+        cleanup_exc = self.cfg.new_block("with-cleanup")
+        cleanup_exc.with_items = items
+        cleanup_exc.edge(self.raise_target(), EDGE_EXC)
+        self.raise_stack.append(cleanup_exc)
+        self.with_stack.extend(items)
+        body_end = self.seq(stmt.body, head)
+        del self.with_stack[len(self.with_stack) - len(items):]
+        self.raise_stack.pop()
+        if body_end is None:
+            return None
+        cleanup_norm = self.cfg.new_block("with-cleanup")
+        cleanup_norm.with_items = items
+        body_end.edge(cleanup_norm)
+        return cleanup_norm
+
+    def _build_try(self, stmt: ast.Try, pred: Block | None) -> Block | None:
+        head = self._stmt_block(stmt, pred)
+        outer = self.raise_target()
+        finally_entry = (
+            self.cfg.new_block("finally") if stmt.finalbody else None
+        )
+        dispatch = (
+            self.cfg.new_block("except-dispatch") if stmt.handlers else None
+        )
+        body_target = dispatch or finally_entry or outer
+        handler_target = finally_entry or outer
+
+        self.raise_stack.append(body_target)
+        if finally_entry is not None:
+            self.finally_stack.append(finally_entry)
+        body_end = self.seq(stmt.body, head)
+        self.raise_stack.pop()
+
+        # try-else runs after normal body completion; its exceptions are
+        # NOT caught by this statement's handlers.
+        if stmt.orelse and body_end is not None:
+            self.raise_stack.append(handler_target)
+            body_end = self.seq(stmt.orelse, body_end)
+            self.raise_stack.pop()
+
+        handler_ends: list[Block] = []
+        if dispatch is not None:
+            broad = any(
+                h.type is None
+                or any(
+                    isinstance(t, ast.Name)
+                    and t.id in ("Exception", "BaseException")
+                    for t in (
+                        h.type.elts if isinstance(h.type, ast.Tuple)
+                        else [h.type]
+                    )
+                    if t is not None
+                )
+                for h in stmt.handlers
+            )
+            for h in stmt.handlers:
+                h_entry = self.cfg.new_block("handler")
+                dispatch.edge(h_entry, EDGE_EXC)
+                self.raise_stack.append(handler_target)
+                h_end = self.seq(h.body, h_entry)
+                self.raise_stack.pop()
+                if h_end is not None:
+                    handler_ends.append(h_end)
+            if not broad:
+                dispatch.edge(handler_target, EDGE_EXC)
+
+        if finally_entry is not None:
+            self.finally_stack.pop()
+            for end in [body_end, *handler_ends]:
+                if end is not None:
+                    end.edge(finally_entry)
+            self.raise_stack.append(outer)
+            f_end = self.seq(stmt.finalbody, finally_entry)
+            self.raise_stack.pop()
+            if f_end is None:
+                return None
+            # The finally suite continues wherever the protected region
+            # was headed: fall-through, the re-raise path, and any
+            # return/break/continue jump targets that occurred inside.
+            f_end.edge(outer, EDGE_EXC)
+            jumps = _jump_kinds(
+                stmt.body + stmt.orelse
+                + [s for h in stmt.handlers for s in h.body]
+            )
+            if "return" in jumps:
+                f_end.edge(
+                    self.finally_stack[-1] if self.finally_stack
+                    else self.cfg.exit
+                )
+            if self.loop_stack:
+                if "break" in jumps:
+                    f_end.edge(self.loop_stack[-1][1])
+                if "continue" in jumps:
+                    f_end.edge(self.loop_stack[-1][0], EDGE_LOOP)
+            normal = body_end is not None or handler_ends
+            return f_end if normal or not jumps else f_end
+        join = self.cfg.new_block("try-after")
+        for end in [body_end, *handler_ends]:
+            if end is not None:
+                end.edge(join)
+        return join if join.preds else None

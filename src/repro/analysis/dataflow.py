@@ -1,0 +1,179 @@
+"""Generic forward dataflow over the :mod:`repro.analysis.cfg` graphs.
+
+This is the engine under RPD114 (resource lifecycle) and the rewritten
+RPD101 taint pass: a classic worklist fixpoint over a per-function CFG,
+parameterised by a small transfer-function object so rules only describe
+*facts*, never graph traversal.
+
+State is deliberately untyped (any value with a sensible ``==``); the
+framework requires
+
+* ``boundary()`` — state at the function entry,
+* ``join(a, b)`` — merge at control-flow confluences (must be monotone),
+* ``transfer_stmt(state, stmt)`` — effect of executing one statement to
+  normal completion,
+* ``transfer_exc(state, stmt)`` — effect observed on the *exception*
+  edge out of ``stmt``.  Exceptions can fire mid-statement, so the
+  default applies no gens: a ``x = arena.lease(n)`` that raises never
+  bound ``x``.  Rules override this to apply kill-only effects.
+* ``transfer_synthetic(state, block)`` — effect of a synthetic block
+  (``with-cleanup`` being the interesting one: context-manager
+  ``__exit__`` releases its resources on both the normal and the
+  exceptional path).
+
+:func:`tainted_names` is the flow-insensitive convenience fixpoint that
+generalizes the two-pass propagation RPD101 used to hand-roll.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Callable, Iterable
+
+from .cfg import CFG, EDGE_EXC, Block
+
+__all__ = ["ForwardAnalysis", "run_forward", "tainted_names"]
+
+
+class ForwardAnalysis:
+    """Base class for forward dataflow clients.  Override the transfer
+    hooks; states must be comparable with ``==`` and never mutated in
+    place (return fresh values)."""
+
+    def boundary(self) -> Any:
+        return frozenset()
+
+    def join(self, a: Any, b: Any) -> Any:
+        return a | b
+
+    def transfer_stmt(self, state: Any, stmt: ast.stmt) -> Any:
+        return state
+
+    def transfer_exc(self, state: Any, stmt: ast.stmt) -> Any:
+        """State carried on the exception edge out of ``stmt``.
+
+        Default: the *incoming* state — the statement may have raised
+        before completing any of its effects."""
+        return state
+
+    def transfer_synthetic(self, state: Any, block: Block) -> Any:
+        return state
+
+
+def run_forward(cfg: CFG, analysis: ForwardAnalysis) -> dict[int, Any]:
+    """Run ``analysis`` to fixpoint; returns block idx -> in-state.
+
+    Unreachable blocks keep no state (absent from the result).  The
+    states at ``cfg.exit.idx`` and ``cfg.exc_exit.idx`` are the facts
+    live at normal return and at an escaping exception respectively.
+    """
+    in_states: dict[int, Any] = {cfg.entry.idx: analysis.boundary()}
+    work: list[Block] = [cfg.entry]
+    on_work = {cfg.entry.idx}
+    while work:
+        block = work.pop(0)
+        on_work.discard(block.idx)
+        state = in_states[block.idx]
+
+        if block.stmts:
+            stmt = block.stmts[0]
+            out_norm = analysis.transfer_stmt(state, stmt)
+            out_exc = analysis.transfer_exc(state, stmt)
+        else:
+            out_norm = analysis.transfer_synthetic(state, block)
+            out_exc = out_norm
+
+        for succ, kind in block.succs:
+            out = out_exc if kind == EDGE_EXC else out_norm
+            if succ.idx in in_states:
+                merged = analysis.join(in_states[succ.idx], out)
+                if merged == in_states[succ.idx]:
+                    continue
+                in_states[succ.idx] = merged
+            else:
+                in_states[succ.idx] = out
+            if succ.idx not in on_work:
+                work.append(succ)
+                on_work.add(succ.idx)
+    return in_states
+
+
+def tainted_names(
+    scope: ast.AST,
+    seeds: Callable[[ast.expr], bool],
+    *,
+    propagate: Callable[[ast.expr], bool] | None = None,
+    sanitizers: Callable[[ast.expr], bool] | None = None,
+    initial: Iterable[str] = (),
+    stmts: Iterable[ast.stmt] | None = None,
+) -> set[str]:
+    """Flow-insensitive taint fixpoint over one scope.
+
+    A name becomes tainted when it is assigned (including augmented and
+    annotated assignment, and ``for`` targets) from an expression for
+    which ``seeds`` returns True, or which mentions an already-tainted
+    name.  ``propagate`` restricts which value-expression shapes carry
+    taint onward (default: any expression mentioning a tainted name);
+    ``sanitizers`` marks value expressions through which taint never
+    flows (e.g. ``x = bytes(x)`` laundering a field element back to raw
+    bytes).  The transfer is monotone — sanitized assignments simply
+    don't *add* taint — so the fixpoint always terminates, and taint
+    flows through chains regardless of statement order, which is what
+    makes this a strict generalization of the old RPD101 two-pass loop.
+    ``stmts`` lets callers supply a pre-filtered statement list (e.g.
+    one that excludes nested function scopes).
+    """
+    tainted: set[str] = set(initial)
+
+    def expr_tainted(expr: ast.expr) -> bool:
+        if seeds(expr):
+            return True
+        if propagate is not None and not propagate(expr):
+            return False
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and node.id in tainted:
+                return True
+        return False
+
+    def targets_of(stmt: ast.stmt) -> list[ast.expr]:
+        if isinstance(stmt, ast.Assign):
+            return list(stmt.targets)
+        if isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            return [stmt.target]
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return [stmt.target]
+        return []
+
+    def flat_names(target: ast.expr) -> list[str]:
+        names = []
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                names.append(node.id)
+        return names
+
+    if stmts is None:
+        stmts = [
+            n for n in ast.walk(scope)
+            if isinstance(n, (ast.Assign, ast.AugAssign, ast.AnnAssign,
+                              ast.For, ast.AsyncFor))
+        ]
+    else:
+        stmts = list(stmts)
+    changed = True
+    while changed:
+        changed = False
+        for stmt in stmts:
+            value = getattr(stmt, "value", None) or getattr(stmt, "iter", None)
+            if value is None:
+                continue
+            names = [n for t in targets_of(stmt) for n in flat_names(t)]
+            if not names:
+                continue
+            if sanitizers is not None and sanitizers(value):
+                continue
+            if expr_tainted(value):
+                for name in names:
+                    if name not in tainted:
+                        tainted.add(name)
+                        changed = True
+    return tainted

@@ -29,13 +29,18 @@ import re
 import tokenize
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Sequence
+
+from .cache import LintCache, content_hash
+from .callgraph import CallGraph, ModuleSummary, summarize_module
 
 __all__ = [
     "Severity",
     "Finding",
     "Rule",
+    "ProjectRule",
     "ModuleContext",
+    "ProjectContext",
     "Analyzer",
     "register",
     "all_rules",
@@ -114,6 +119,21 @@ class ModuleContext:
         return any(f in self.posix_path for f in fragments)
 
 
+class ProjectContext:
+    """Everything a whole-program rule needs: every module's extracted
+    :class:`~repro.analysis.callgraph.ModuleSummary` plus the linked
+    :class:`~repro.analysis.callgraph.CallGraph`.
+
+    Project rules see *summaries*, never ASTs — that restriction is what
+    lets the incremental driver run them from the cache without
+    re-parsing unchanged files.
+    """
+
+    def __init__(self, summaries: dict[str, ModuleSummary]) -> None:
+        self.summaries = summaries
+        self.graph = CallGraph(summaries.values())
+
+
 class Rule:
     """Base class for rapidslint rules.
 
@@ -144,6 +164,34 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    Instead of :meth:`check` (which is a no-op for these), subclasses
+    implement :meth:`check_project` over a :class:`ProjectContext`.
+    Findings still carry a concrete file/line so suppressions work the
+    same way as for local rules.
+    """
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(
+        self, path: str, line: int, message: str, col: int = 0
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+        )
+
+
 _REGISTRY: dict[str, Rule] = {}
 
 
@@ -164,6 +212,7 @@ def all_rules() -> list[Rule]:
 
 
 def get_rule(rule_id: str) -> Rule:
+    """Look up one registered rule by id (KeyError if unknown)."""
     return _REGISTRY[rule_id]
 
 
@@ -240,12 +289,71 @@ def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
             yield c
 
 
+def _finding_to_json(f: Finding) -> list[Any]:
+    return [f.rule_id, int(f.severity), f.path, f.line, f.col, f.message]
+
+
+def _finding_from_json(row: Sequence[Any]) -> Finding:
+    return Finding(row[0], Severity(row[1]), row[2], row[3], row[4], row[5])
+
+
+def _suppression_to_json(s: _Suppression) -> list[Any]:
+    return [list(s.rules), s.line, s.whole_file, s.justification]
+
+
+def _suppression_from_json(row: Sequence[Any]) -> _Suppression:
+    return _Suppression(tuple(row[0]), row[1], row[2], row[3])
+
+
+@dataclass
+class _FileResult:
+    """Raw (pre-selection, pre-suppression) analysis of one file."""
+
+    path: str
+    meta: list[Finding]          # RPD100 problems: syntax errors, bad disables
+    raw: list[Finding]           # every local rule's findings, unfiltered
+    suppressions: list[_Suppression]
+    summary: ModuleSummary | None
+
+    def to_cache(self) -> dict[str, Any]:
+        return {
+            "meta": [_finding_to_json(f) for f in self.meta],
+            "findings": [_finding_to_json(f) for f in self.raw],
+            "suppressions": [
+                _suppression_to_json(s) for s in self.suppressions
+            ],
+            "summary": self.summary.to_json() if self.summary else None,
+        }
+
+    @classmethod
+    def from_cache(cls, path: str, data: dict[str, Any]) -> "_FileResult":
+        return cls(
+            path=path,
+            meta=[_finding_from_json(r) for r in data["meta"]],
+            raw=[_finding_from_json(r) for r in data["findings"]],
+            suppressions=[
+                _suppression_from_json(r) for r in data["suppressions"]
+            ],
+            summary=(
+                ModuleSummary.from_json(data["summary"])
+                if data["summary"] else None
+            ),
+        )
+
+
 class Analyzer:
     """Runs a set of rules over files and applies suppressions.
 
     ``select`` restricts to the given rule ids; by default every
     registered rule runs.  Unused suppressions are reported (as
     :data:`META_RULE_ID` warnings) so stale disables cannot accumulate.
+
+    The driver always *computes* with every registered rule and applies
+    ``select`` when combining results — that is what lets one on-disk
+    cache entry serve any rule subset.  Whole-program rules
+    (:class:`ProjectRule`) run over the linked module summaries after
+    the per-file pass; their findings flow through the same per-file
+    suppression machinery.
     """
 
     def __init__(
@@ -255,7 +363,8 @@ class Analyzer:
         select: Sequence[str] | None = None,
         report_unused_suppressions: bool = True,
     ) -> None:
-        self.rules = list(rules) if rules is not None else all_rules()
+        self._all = list(rules) if rules is not None else all_rules()
+        self.rules = list(self._all)
         if select is not None:
             wanted = set(select)
             unknown = wanted - {r.rule_id for r in self.rules}
@@ -264,57 +373,203 @@ class Analyzer:
             self.rules = [r for r in self.rules if r.rule_id in wanted]
         self.report_unused_suppressions = report_unused_suppressions
 
-    def check_source(
-        self, source: str, path: str | Path = "<string>"
-    ) -> list[Finding]:
-        """Analyze one source string (the unit-test entry point)."""
+    # -- per-file raw pass -------------------------------------------------
+
+    def _analyze_one(self, source: str, path: str) -> _FileResult:
         try:
             tree = ast.parse(source)
         except SyntaxError as exc:
-            return [
-                Finding(
-                    META_RULE_ID,
-                    Severity.ERROR,
-                    str(path),
-                    exc.lineno or 1,
-                    exc.offset or 0,
-                    f"syntax error: {exc.msg}",
-                )
-            ]
+            return _FileResult(
+                path=path,
+                meta=[
+                    Finding(
+                        META_RULE_ID,
+                        Severity.ERROR,
+                        path,
+                        exc.lineno or 1,
+                        exc.offset or 0,
+                        f"syntax error: {exc.msg}",
+                    )
+                ],
+                raw=[],
+                suppressions=[],
+                summary=None,
+            )
         module = ModuleContext(path, source, tree)
-        suppressions, findings = _parse_suppressions(module)
-        for rule in self.rules:
-            for f in rule.check(module):
-                hit = next((s for s in suppressions if s.matches(f)), None)
+        suppressions, problems = _parse_suppressions(module)
+        raw: list[Finding] = []
+        for rule in self._all:
+            if isinstance(rule, ProjectRule):
+                continue
+            raw.extend(rule.check(module))
+        return _FileResult(
+            path=path,
+            meta=problems,
+            raw=raw,
+            suppressions=suppressions,
+            summary=summarize_module(module.posix_path, tree),
+        )
+
+    def _project_findings(
+        self, results: Sequence[_FileResult]
+    ) -> list[Finding]:
+        project_rules = [r for r in self._all if isinstance(r, ProjectRule)]
+        if not project_rules:
+            return []
+        summaries = {
+            r.summary.path: r.summary for r in results if r.summary is not None
+        }
+        if not summaries:
+            return []
+        project = ProjectContext(summaries)
+        findings: list[Finding] = []
+        for rule in project_rules:
+            findings.extend(rule.check_project(project))
+        return findings
+
+    # -- combining ---------------------------------------------------------
+
+    def _combine(
+        self,
+        results: Sequence[_FileResult],
+        project_findings: Sequence[Finding],
+    ) -> list[Finding]:
+        active = {r.rule_id for r in self.rules}
+        by_path: dict[str, list[Finding]] = {}
+        for f in project_findings:
+            if f.rule_id in active:
+                by_path.setdefault(f.path, []).append(f)
+        out: list[Finding] = []
+        known_paths = set()
+        for res in results:
+            known_paths.add(res.path)
+            if res.summary is not None:
+                known_paths.add(res.summary.path)
+            findings = list(res.meta)
+            candidates = [f for f in res.raw if f.rule_id in active]
+            candidates += by_path.get(res.path, [])
+            if res.summary is not None and res.summary.path != res.path:
+                candidates += by_path.get(res.summary.path, [])
+            for f in candidates:
+                hit = next(
+                    (s for s in res.suppressions if s.matches(f)), None
+                )
                 if hit is not None:
                     hit.used = True
                 else:
                     findings.append(f)
-        if self.report_unused_suppressions:
-            for s in suppressions:
-                active = {r.rule_id for r in self.rules}
-                if not s.used and set(s.rules) & active:
-                    findings.append(
-                        Finding(
-                            META_RULE_ID,
-                            Severity.WARNING,
-                            module.path,
-                            s.line,
-                            0,
-                            "unused suppression for "
-                            + ", ".join(s.rules)
-                            + " — remove it",
+            if self.report_unused_suppressions:
+                for s in res.suppressions:
+                    if not s.used and set(s.rules) & active:
+                        findings.append(
+                            Finding(
+                                META_RULE_ID,
+                                Severity.WARNING,
+                                res.path,
+                                s.line,
+                                0,
+                                "unused suppression for "
+                                + ", ".join(s.rules)
+                                + " — remove it",
+                            )
                         )
-                    )
-        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
-        return findings
+            findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+            out.extend(findings)
+        # A project rule may (rarely) blame a path outside the analyzed
+        # set, e.g. a missing declaration file; don't drop those.
+        for f in project_findings:
+            if f.rule_id in active and f.path not in known_paths:
+                out.append(f)
+        return out
+
+    # -- public entry points -----------------------------------------------
+
+    def check_source(
+        self, source: str, path: str | Path = "<string>"
+    ) -> list[Finding]:
+        """Analyze one source string (the unit-test entry point).
+
+        Whole-program rules run too, over a single-module project — so a
+        fixture exercising RPD113-RPD116 works through the same helper
+        as the local rules.
+        """
+        return self.check_sources({str(path): source})
+
+    def check_sources(self, sources: dict[str, str]) -> list[Finding]:
+        """Analyze a dict of ``path -> source`` as one project."""
+        results = [
+            self._analyze_one(src, path) for path, src in sources.items()
+        ]
+        return self._combine(results, self._project_findings(results))
 
     def check_file(self, path: str | Path) -> list[Finding]:
         source = Path(path).read_text(encoding="utf-8")
-        return self.check_source(source, path)
+        return self.check_source(source, str(path))
 
-    def check_paths(self, paths: Sequence[str | Path]) -> list[Finding]:
-        findings: list[Finding] = []
+    def check_paths(
+        self,
+        paths: Sequence[str | Path],
+        *,
+        cache: LintCache | None = None,
+        restrict_to: set[str] | None = None,
+    ) -> list[Finding]:
+        """Analyze files/directories, optionally through ``cache``.
+
+        ``restrict_to`` (posix paths) filters which files' findings are
+        *reported*; everything is still analyzed so whole-program rules
+        see the full project (``rapids lint --changed``).
+        """
+        results: list[_FileResult] = []
+        file_hashes: dict[str, str] = {}
         for f in iter_python_files(paths):
-            findings.extend(self.check_file(f))
+            path = str(f)
+            posix = f.as_posix()
+            try:
+                source = Path(f).read_text(encoding="utf-8")
+            except OSError as exc:
+                results.append(
+                    _FileResult(
+                        path=path,
+                        meta=[
+                            Finding(
+                                META_RULE_ID, Severity.ERROR, path, 1, 0,
+                                f"cannot read file: {exc}",
+                            )
+                        ],
+                        raw=[], suppressions=[], summary=None,
+                    )
+                )
+                continue
+            h = content_hash(source)
+            file_hashes[posix] = h
+            entry = cache.lookup(posix, h) if cache is not None else None
+            if entry is not None:
+                results.append(_FileResult.from_cache(path, entry))
+            else:
+                res = self._analyze_one(source, path)
+                results.append(res)
+                if cache is not None:
+                    cache.store(posix, h, res.to_cache())
+
+        if cache is not None:
+            fp = LintCache.project_fingerprint(file_hashes)
+            cached = cache.lookup_project(fp)
+            if cached is not None:
+                project_findings = [_finding_from_json(r) for r in cached]
+            else:
+                project_findings = self._project_findings(results)
+                cache.store_project(
+                    fp, [_finding_to_json(f) for f in project_findings]
+                )
+            cache.prune(set(file_hashes))
+            cache.save()
+        else:
+            project_findings = self._project_findings(results)
+
+        findings = self._combine(results, project_findings)
+        if restrict_to is not None:
+            findings = [
+                f for f in findings
+                if Path(f.path).as_posix() in restrict_to
+            ]
         return findings

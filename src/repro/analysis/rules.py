@@ -44,6 +44,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from .dataflow import tainted_names
 from .framework import Finding, ModuleContext, Rule, Severity, register
 
 __all__ = [
@@ -198,8 +199,9 @@ class GFRawArithRule(Rule):
         self, scope: ast.AST, mods: set[str], fns: set[str]
     ) -> set[str]:
         """Names assigned (anywhere in the scope) from gf256 API calls,
-        propagated one hop through subscripts of tainted names."""
-        tainted: set[str] = set()
+        propagated to any fixpoint through names/subscripts of tainted
+        names — the generic :func:`repro.analysis.dataflow.tainted_names`
+        engine with gf256 calls as seeds."""
         assigns = [
             n
             for n in _walk_scope(scope)
@@ -207,17 +209,12 @@ class GFRawArithRule(Rule):
             and len(n.targets) == 1
             and isinstance(n.targets[0], ast.Name)
         ]
-        for _ in range(2):  # two passes to catch simple chains
-            for node in assigns:
-                value, target = node.value, node.targets[0].id
-                if self._is_gf_call(value, mods, fns):
-                    tainted.add(target)
-                elif (
-                    isinstance(value, (ast.Subscript, ast.Name))
-                    and _root_name(value) in tainted
-                ):
-                    tainted.add(target)
-        return tainted
+        return tainted_names(
+            scope,
+            seeds=lambda v: self._is_gf_call(v, mods, fns),
+            propagate=lambda v: isinstance(v, (ast.Subscript, ast.Name)),
+            stmts=assigns,
+        )
 
 
 @register

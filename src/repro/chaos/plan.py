@@ -41,6 +41,7 @@ SITES = frozenset(
         "pipeline.prepare",
         "pipeline.restore",
         "streaming.index",
+        "streaming.read",
     }
 )
 
@@ -66,6 +67,7 @@ _SITE_EFFECTS = {
     "pipeline.prepare": {"error"},
     "pipeline.restore": {"error"},
     "streaming.index": {"error", "torn"},
+    "streaming.read": {"error", "stall"},
     "storage.write": {"error", "torn"},
     "filestore.write": {"error", "torn"},
     "storage.read": {"error", "corrupt", "truncate", "stall"},

@@ -234,7 +234,14 @@ def _cmd_lint(args) -> int:
         if args.select
         else None
     )
-    return run_lint(args.paths, select=select, fmt=args.format)
+    return run_lint(
+        args.paths,
+        select=select,
+        fmt=args.format,
+        use_cache=not args.no_cache,
+        cache_path=args.cache_path,
+        changed_base=args.changed,
+    )
 
 
 def _chaos_round(plan, *, size: int, systems: int, strategy: str) -> dict:
@@ -486,6 +493,17 @@ def build_parser() -> argparse.ArgumentParser:
     ln.add_argument("--format", default="text", choices=["text", "json"])
     ln.add_argument("--list-rules", action="store_true",
                     help="print the rule registry and exit")
+    ln.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                    metavar="BASE",
+                    help="only report findings for files changed vs the "
+                         "given git ref (default HEAD); the whole tree is "
+                         "still analyzed so interprocedural rules see "
+                         "every caller")
+    ln.add_argument("--no-cache", action="store_true",
+                    help="ignore and don't write the incremental lint cache")
+    ln.add_argument("--cache-path", default=None,
+                    help="incremental cache location "
+                         "(default: .rapidslint-cache.json)")
     ln.set_defaults(func=_cmd_lint)
 
     ch = sub.add_parser(

@@ -83,7 +83,7 @@ class KVStore:
 
     def _open_active(self, seg_id: int) -> None:
         self._active_id = seg_id
-        # rapidslint: disable-next=RPD108 -- long-lived append handle, closed in close()/_rotate
+        # rapidslint: disable-next=RPD108,RPD115 -- long-lived append handle, closed in close()/_rotate; open-time plumbing, not a data seam — faults land on kvstore.put/get/fsync
         self._active = open(self._segment_path(seg_id), "ab")
         # rapidslint: disable-next=RPD108 -- segment read handle cached in _handles, closed in close()
         self._handles[seg_id] = open(self._segment_path(seg_id), "rb")
@@ -105,6 +105,7 @@ class KVStore:
     def _replay_segment(self, seg_id: int) -> None:
         path = self._segment_path(seg_id)
         valid_end = 0
+        # rapidslint: disable-next=RPD115 -- recovery replay is the torn-write *detector*; faulting the detector would mask the kvstore.put faults it exists to repair
         with open(path, "rb") as fh:
             data = fh.read()
         off = 0

@@ -225,34 +225,42 @@ class TileSource:
     def __init__(self, source: np.ndarray | str | Path) -> None:
         self._fh = None
         self._data = None
-        if isinstance(source, (str, Path)):
-            # rapidslint: disable-next=RPD108 -- handle lives for the source's lifetime; closed in TileSource.close/__exit__
-            self._fh = open(source, "rb")
-            version = np.lib.format.read_magic(self._fh)
-            if version == (1, 0):
-                header = np.lib.format.read_array_header_1_0(self._fh)
-            elif version == (2, 0):
-                header = np.lib.format.read_array_header_2_0(self._fh)
+        try:
+            if isinstance(source, (str, Path)):
+                # rapidslint: disable-next=RPD108 -- handle lives for the source's lifetime; closed in TileSource.close/__exit__
+                self._fh = open(source, "rb")
+                version = np.lib.format.read_magic(self._fh)
+                if version == (1, 0):
+                    header = np.lib.format.read_array_header_1_0(self._fh)
+                elif version == (2, 0):
+                    header = np.lib.format.read_array_header_2_0(self._fh)
+                else:
+                    raise ValueError(f"unsupported .npy version {version}")
+                shape, fortran, dtype = header
+                if fortran:
+                    raise ValueError(
+                        "Fortran-ordered .npy input is not supported; "
+                        "save with C order"
+                    )
+                self.shape = tuple(int(s) for s in shape)
+                self.dtype = np.dtype(dtype)
+                self._offset = self._fh.tell()
             else:
-                raise ValueError(f"unsupported .npy version {version}")
-            shape, fortran, dtype = header
-            if fortran:
-                raise ValueError(
-                    "Fortran-ordered .npy input is not supported; "
-                    "save with C order"
-                )
-            self.shape = tuple(int(s) for s in shape)
-            self.dtype = np.dtype(dtype)
-            self._offset = self._fh.tell()
-        else:
-            self._data = np.ascontiguousarray(source)
-            self.shape = tuple(self._data.shape)
-            self.dtype = self._data.dtype
-        if len(self.shape) < 1 or self.shape[0] < 2:
-            raise ValueError("need at least 2 planes along axis 0")
-        self.row_nbytes = (
-            int(np.prod(self.shape[1:], dtype=np.int64)) * self.dtype.itemsize
-        )
+                self._data = np.ascontiguousarray(source)
+                self.shape = tuple(self._data.shape)
+                self.dtype = self._data.dtype
+            if len(self.shape) < 1 or self.shape[0] < 2:
+                raise ValueError("need at least 2 planes along axis 0")
+            self.row_nbytes = (
+                int(np.prod(self.shape[1:], dtype=np.int64))
+                * self.dtype.itemsize
+            )
+        except BaseException:
+            # A rejected source (bad magic, Fortran order, too few
+            # planes) discards the half-built instance — nothing would
+            # ever close the handle.
+            self.close()
+            raise
 
     @property
     def nbytes(self) -> int:

@@ -137,9 +137,16 @@ def stream_reconstruct(
     *,
     upto: int | None = None,
     refactorer: Refactorer | None = None,
+    injector=None,
 ) -> np.ndarray:
-    """Reassemble the full array from a streamed directory."""
+    """Reassemble the full array from a streamed directory.
+
+    ``injector`` is the ``streaming.read`` chaos seam, consulted before
+    the index and block archives are touched.
+    """
     indir = Path(indir)
+    if injector is not None:
+        injector.check("streaming.read", indir=str(indir))
     index = _load_index(indir)
     refactorer = refactorer or Refactorer(4)
     out = np.empty(tuple(index["shape"]), dtype=index["dtype"])
@@ -156,13 +163,17 @@ def stream_reconstruct_region(
     *,
     upto: int | None = None,
     refactorer: Refactorer | None = None,
+    injector=None,
 ) -> np.ndarray:
     """Reconstruct only the leading-axis slice [start, stop).
 
     Touches only the block archives intersecting the region — the
-    out-of-core form of adaptable retrieval.
+    out-of-core form of adaptable retrieval.  ``injector`` is the
+    ``streaming.read`` chaos seam.
     """
     indir = Path(indir)
+    if injector is not None:
+        injector.check("streaming.read", indir=str(indir))
     index = _load_index(indir)
     total = index["shape"][0]
     if not 0 <= start < stop <= total:

@@ -181,6 +181,7 @@ class FileStorageCluster:
                 raise ValueError(
                     f"no cluster at {self.root}; pass bandwidths to create one"
                 )
+            # rapidslint: disable-next=RPD115 -- cluster.json bootstrap read at attach time, before any injector can exist; data-path I/O goes through the filestore.read/write seams
             cfg = json.loads(config_path.read_text())
             bandwidths = cfg["bandwidths"]
             names = cfg["names"]

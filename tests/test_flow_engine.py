@@ -1,0 +1,496 @@
+"""Property and unit tests for the whole-program analysis engine.
+
+Covers the three layers under the interprocedural rules:
+
+* :mod:`repro.analysis.cfg` — hypothesis-generated random functions must
+  satisfy the structural CFG invariants (every statement lives in
+  exactly one block and is either reachable or reported dead; may-raise
+  statements carry exception edges; ``with``/``try`` produce the
+  synthetic cleanup/dispatch blocks with exception edges).
+* :mod:`repro.analysis.dataflow` — the forward worklist and the
+  flow-insensitive taint fixpoint.
+* :mod:`repro.analysis.callgraph` — resolution of direct calls, method
+  calls through ``self``, and ``module.attr`` calls through import
+  aliases, over hypothesis-generated identifier names.
+"""
+
+import ast
+import keyword
+import textwrap
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import build_cfg, run_forward, tainted_names
+from repro.analysis.callgraph import CallGraph, summarize_module
+from repro.analysis.cfg import EDGE_EXC, may_raise
+from repro.analysis.dataflow import ForwardAnalysis
+
+# ---------------------------------------------------------------------------
+# random-program strategy
+
+
+_SIMPLE = [
+    "x = work(x)",
+    "x = x + 1",
+    "y = x",
+    "return x",
+    "raise ValueError(x)",
+]
+_LOOP_ONLY = ["break", "continue"]
+
+
+@st.composite
+def _bodies(draw, depth=0, in_loop=False):
+    """A list of statement source lines (relative indentation inside)."""
+    lines = []
+    for _ in range(draw(st.integers(1, 3))):
+        choices = ["simple"]
+        if depth < 2:
+            choices += ["if", "while", "for", "try", "with"]
+        if in_loop:
+            choices += ["jump"]
+        kind = draw(st.sampled_from(choices))
+        if kind == "simple":
+            lines.append(draw(st.sampled_from(_SIMPLE)))
+        elif kind == "jump":
+            lines.append(draw(st.sampled_from(_LOOP_ONLY)))
+        elif kind == "if":
+            lines.append("if x:")
+            lines += indent(draw(_bodies(depth=depth + 1, in_loop=in_loop)))
+            if draw(st.booleans()):
+                lines.append("else:")
+                lines += indent(
+                    draw(_bodies(depth=depth + 1, in_loop=in_loop))
+                )
+        elif kind == "while":
+            lines.append("while x:")
+            lines += indent(draw(_bodies(depth=depth + 1, in_loop=True)))
+        elif kind == "for":
+            lines.append("for i in range(3):")
+            lines += indent(draw(_bodies(depth=depth + 1, in_loop=True)))
+        elif kind == "try":
+            lines.append("try:")
+            lines += indent(draw(_bodies(depth=depth + 1, in_loop=in_loop)))
+            has_handler = draw(st.booleans())
+            if has_handler:
+                lines.append("except ValueError:")
+                lines += indent(
+                    draw(_bodies(depth=depth + 1, in_loop=in_loop))
+                )
+            if not has_handler or draw(st.booleans()):
+                lines.append("finally:")
+                lines += indent(
+                    draw(_bodies(depth=depth + 1, in_loop=in_loop))
+                )
+        elif kind == "with":
+            lines.append("with work(x) as w:")
+            lines += indent(draw(_bodies(depth=depth + 1, in_loop=in_loop)))
+    return lines
+
+
+def indent(lines):
+    return ["    " + ln for ln in lines]
+
+
+def fn_from_lines(lines):
+    src = "def f(x):\n" + "\n".join(indent(lines))
+    tree = ast.parse(src)
+    return tree.body[0]
+
+
+def own_stmts(fn):
+    """Every statement of ``fn`` except the def itself (no nested defs
+    are generated)."""
+    return [
+        n for n in ast.walk(fn) if isinstance(n, ast.stmt) and n is not fn
+    ]
+
+
+_COMPOUND = (ast.If, ast.While, ast.For, ast.Try, ast.With)
+
+
+class TestCFGProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(_bodies())
+    def test_every_statement_in_exactly_one_block(self, lines):
+        fn = fn_from_lines(lines)
+        cfg = build_cfg(fn)
+        placed = cfg.statements()
+        assert len(placed) == len({id(s) for s in placed})
+        for stmt in own_stmts(fn):
+            assert id(stmt) in cfg.block_of
+            assert cfg.block_of[id(stmt)].stmts == [stmt]
+
+    @settings(max_examples=60, deadline=None)
+    @given(_bodies())
+    def test_reachable_or_reported_dead(self, lines):
+        fn = fn_from_lines(lines)
+        cfg = build_cfg(fn)
+        live = cfg.reachable()
+        dead = {id(s) for s in cfg.unreachable_stmts()}
+        for stmt in own_stmts(fn):
+            in_live_block = cfg.block_of[id(stmt)] in live
+            assert in_live_block != (id(stmt) in dead)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_bodies())
+    def test_may_raise_simple_statements_have_exception_edges(self, lines):
+        fn = fn_from_lines(lines)
+        cfg = build_cfg(fn)
+        for stmt in own_stmts(fn):
+            if isinstance(stmt, _COMPOUND) or not may_raise(stmt):
+                continue
+            block = cfg.block_of[id(stmt)]
+            assert any(kind == EDGE_EXC for _, kind in block.succs), (
+                f"{type(stmt).__name__} at line {stmt.lineno} may raise "
+                "but has no exception edge"
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(_bodies())
+    def test_every_reachable_block_reaches_an_exit(self, lines):
+        fn = fn_from_lines(lines)
+        cfg = build_cfg(fn)
+        exits = {cfg.exit.idx, cfg.exc_exit.idx}
+        for block in cfg.reachable():
+            if block.idx in exits:
+                continue
+            seen, stack = set(), [block]
+            while stack:
+                b = stack.pop()
+                if b.idx in seen:
+                    continue
+                seen.add(b.idx)
+                stack.extend(s for s, _ in b.succs)
+            assert seen & exits, f"{block!r} cannot reach any exit"
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 4))
+    def test_with_bodies_get_cleanup_blocks_on_both_paths(self, n):
+        lines = ["with work(x) as w:"] + indent(["x = work(x)"] * n)
+        fn = fn_from_lines(lines)
+        cfg = build_cfg(fn)
+        cleanups = [b for b in cfg.blocks if b.label == "with-cleanup"]
+        assert len(cleanups) == 2  # one normal, one exceptional
+        assert all(b.with_items == [("work", "w")] for b in cleanups)
+        exc_cleanup = next(
+            b for b in cleanups
+            if any(k == EDGE_EXC for _, k in b.succs)
+        )
+        # The exceptional cleanup re-raises: its exception edge must end
+        # at the function's exceptional exit (no enclosing handler here).
+        assert any(
+            s is cfg.exc_exit for s, k in exc_cleanup.succs if k == EDGE_EXC
+        )
+        # Every may-raise body statement unwinds through that cleanup.
+        for stmt in fn.body[0].body:
+            block = cfg.block_of[id(stmt)]
+            assert (exc_cleanup, EDGE_EXC) in block.succs
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 4))
+    def test_try_bodies_raise_into_the_dispatch_block(self, n):
+        lines = (
+            ["try:"] + indent(["x = work(x)"] * n)
+            + ["except ValueError:", "    y = 0"]
+        )
+        fn = fn_from_lines(lines)
+        cfg = build_cfg(fn)
+        dispatch = next(
+            b for b in cfg.blocks if b.label == "except-dispatch"
+        )
+        for stmt in fn.body[0].body:
+            block = cfg.block_of[id(stmt)]
+            assert (dispatch, EDGE_EXC) in block.succs
+        # A narrow handler does not swallow unmatched exceptions: the
+        # dispatch keeps an exception edge onward to the outer target.
+        assert any(
+            s is cfg.exc_exit for s, k in dispatch.succs if k == EDGE_EXC
+        )
+
+    def test_enter_failure_bypasses_cleanup(self):
+        fn = fn_from_lines(["with work(x) as w:", "    y = x"])
+        cfg = build_cfg(fn)
+        head = cfg.block_of[id(fn.body[0])]
+        # work(x) raising in __enter__ must unwind WITHOUT running the
+        # cleanup (__exit__ is only called after a successful __enter__).
+        assert any(
+            s is cfg.exc_exit for s, k in head.succs if k == EDGE_EXC
+        )
+
+    def test_return_routes_through_finally(self):
+        fn = fn_from_lines(
+            ["try:", "    return x", "finally:", "    y = 0"]
+        )
+        cfg = build_cfg(fn)
+        ret = next(
+            s for s in cfg.statements() if isinstance(s, ast.Return)
+        )
+        block = cfg.block_of[id(ret)]
+        assert not any(s is cfg.exit for s, _ in block.succs)
+        assert any(s.label == "finally" for s, _ in block.succs)
+
+
+# ---------------------------------------------------------------------------
+# dataflow
+
+
+class _ReachingCalls(ForwardAnalysis):
+    """Toy client: set of callee chains executed so far."""
+
+    def transfer_stmt(self, state, stmt):
+        names = {
+            node.func.id
+            for node in ast.walk(stmt)
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+        }
+        return state | frozenset(names)
+
+
+class TestForwardDataflow:
+    def test_states_merge_at_joins(self):
+        fn = fn_from_lines(
+            ["if x:", "    a()", "else:", "    b()", "c()"]
+        )
+        cfg = build_cfg(fn)
+        states = run_forward(cfg, _ReachingCalls())
+        at_exit = states[cfg.exit.idx]
+        assert {"a", "b", "c"} <= at_exit
+
+    def test_exception_edge_keeps_incoming_state(self):
+        # If a() raises, its effect never happened on the exc path: the
+        # default transfer_exc forwards the incoming state unchanged.
+        fn = fn_from_lines(["a()"])
+        cfg = build_cfg(fn)
+        states = run_forward(cfg, _ReachingCalls())
+        assert "a" in states[cfg.exit.idx]
+        assert "a" not in states[cfg.exc_exit.idx]
+
+    def test_loop_reaches_fixpoint(self):
+        fn = fn_from_lines(["while x:", "    a()", "b()"])
+        cfg = build_cfg(fn)
+        states = run_forward(cfg, _ReachingCalls())
+        assert {"a", "b"} <= states[cfg.exit.idx]
+
+
+class TestTaintedNames:
+    def test_chain_propagates_regardless_of_order(self):
+        # y is assigned from x BEFORE x becomes tainted: the fixpoint
+        # must still catch it (the old two-pass loop's whole point).
+        scope = ast.parse(
+            textwrap.dedent(
+                """
+                def f():
+                    y = x
+                    x = seed()
+                    z = y
+                """
+            )
+        ).body[0]
+        names = tainted_names(
+            scope,
+            seeds=lambda v: isinstance(v, ast.Call)
+            and isinstance(v.func, ast.Name)
+            and v.func.id == "seed",
+        )
+        assert {"x", "y", "z"} <= names
+
+    def test_sanitizer_blocks_flow_and_terminates(self):
+        # x = clean(x) must not keep x tainted forever (monotone
+        # transfer: sanitized assignments just add nothing).
+        scope = ast.parse(
+            textwrap.dedent(
+                """
+                def f():
+                    x = seed()
+                    y = clean(x)
+                    z = y
+                """
+            )
+        ).body[0]
+        names = tainted_names(
+            scope,
+            seeds=lambda v: isinstance(v, ast.Call)
+            and isinstance(v.func, ast.Name)
+            and v.func.id == "seed",
+            sanitizers=lambda v: isinstance(v, ast.Call)
+            and isinstance(v.func, ast.Name)
+            and v.func.id == "clean",
+        )
+        assert "x" in names
+        assert "y" not in names
+        assert "z" not in names
+
+
+# ---------------------------------------------------------------------------
+# call-graph resolution
+
+
+_ident = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: not keyword.iskeyword(s)
+)
+
+
+def _graph(sources):
+    summaries = [
+        summarize_module(path, ast.parse(textwrap.dedent(src)))
+        for path, src in sources.items()
+    ]
+    return CallGraph(summaries)
+
+
+class TestCallGraphResolution:
+    @settings(max_examples=30, deadline=None)
+    @given(fn=_ident, helper=_ident)
+    def test_direct_call_same_module(self, fn, helper):
+        assume(fn != helper)
+        path = "src/repro/pkg/a.py"
+        graph = _graph(
+            {
+                path: f"""
+                def {helper}():
+                    pass
+
+                def {fn}():
+                    {helper}()
+                """
+            }
+        )
+        assert [c for c, _ in graph.callees(f"{path}:{fn}")] == [
+            f"{path}:{helper}"
+        ]
+
+    @settings(max_examples=30, deadline=None)
+    @given(cls=_ident, meth=_ident, caller=_ident)
+    def test_self_method_call(self, cls, meth, caller):
+        assume(meth != caller)
+        cls = cls.capitalize()
+        path = "src/repro/pkg/a.py"
+        graph = _graph(
+            {
+                path: f"""
+                class {cls}:
+                    def {meth}(self):
+                        pass
+
+                    def {caller}(self):
+                        self.{meth}()
+                """
+            }
+        )
+        assert [c for c, _ in graph.callees(f"{path}:{cls}.{caller}")] == [
+            f"{path}:{cls}.{meth}"
+        ]
+
+    @settings(max_examples=30, deadline=None)
+    @given(fn=_ident, helper=_ident)
+    def test_module_attr_call_via_import(self, fn, helper):
+        assume(fn != helper)
+        lib = "src/repro/pkg/lib.py"
+        app = "src/repro/pkg/app.py"
+        graph = _graph(
+            {
+                lib: f"""
+                def {helper}():
+                    pass
+                """,
+                app: f"""
+                from repro.pkg import lib
+
+                def {fn}():
+                    lib.{helper}()
+                """,
+            }
+        )
+        assert [c for c, _ in graph.callees(f"{app}:{fn}")] == [
+            f"{lib}:{helper}"
+        ]
+
+    def test_from_import_of_function(self):
+        lib = "src/repro/pkg/lib.py"
+        app = "src/repro/pkg/app.py"
+        graph = _graph(
+            {
+                lib: "def helper():\n    pass\n",
+                app: (
+                    "from repro.pkg.lib import helper\n"
+                    "def main():\n"
+                    "    helper()\n"
+                ),
+            }
+        )
+        assert [c for c, _ in graph.callees(f"{app}:main")] == [
+            f"{lib}:helper"
+        ]
+
+    def test_inherited_method_resolves_through_base(self):
+        path = "src/repro/pkg/a.py"
+        graph = _graph(
+            {
+                path: """
+                class Base:
+                    def close(self):
+                        pass
+
+                class Derived(Base):
+                    def run(self):
+                        self.close()
+                """
+            }
+        )
+        assert [c for c, _ in graph.callees(f"{path}:Derived.run")] == [
+            f"{path}:Base.close"
+        ]
+
+    def test_unresolvable_dynamic_call_produces_no_edge(self):
+        path = "src/repro/pkg/a.py"
+        graph = _graph(
+            {
+                path: """
+                def main(obj):
+                    obj.whatever()
+                """
+            }
+        )
+        assert graph.callees(f"{path}:main") == []
+
+    def test_reachability_and_chain(self):
+        path = "src/repro/pkg/a.py"
+        graph = _graph(
+            {
+                path: """
+                def c():
+                    pass
+
+                def b():
+                    c()
+
+                def a():
+                    b()
+                """
+            }
+        )
+        qa, qb, qc = (f"{path}:{n}" for n in "abc")
+        assert graph.reachable_from([qa]) == {qa, qb, qc}
+        assert graph.call_chain(qa, qc) == [qa, qb, qc]
+        assert graph.call_chain(qc, qa) is None
+
+    def test_locks_held_at_call_sites(self):
+        path = "src/repro/pkg/a.py"
+        graph = _graph(
+            {
+                path: """
+                class Store:
+                    def flush(self):
+                        pass
+
+                    def put(self):
+                        with self._lock:
+                            self.flush()
+                """
+            }
+        )
+        (callee, site), = graph.callees(f"{path}:Store.put")
+        assert callee == f"{path}:Store.flush"
+        assert site.held_locks == (f"{path}:Store._lock",)

@@ -100,13 +100,13 @@ class TestSharedArena:
             shared_memory.SharedMemory(name=name)
 
     def test_refcount_keeps_segment_alive(self):
-        arena = SharedArena()
-        shm = arena.lease(64)
-        arena.retain(shm.name)
-        arena.release(shm.name)
-        assert arena.live_names == [shm.name]  # one reference left
-        arena.release(shm.name)
-        assert arena.live_names == []
+        with SharedArena() as arena:
+            shm = arena.lease(64)
+            arena.retain(shm.name)
+            arena.release(shm.name)
+            assert arena.live_names == [shm.name]  # one reference left
+            arena.release(shm.name)
+            assert arena.live_names == []
 
     def test_close_unlinks_everything(self):
         arena = SharedArena()
@@ -118,14 +118,14 @@ class TestSharedArena:
                 shared_memory.SharedMemory(name=name)
 
     def test_peak_bytes_tracks_high_water_mark(self):
-        arena = SharedArena()
-        a = arena.lease(4096)
-        b = arena.lease(4096)
-        arena.release(a.name)
-        arena.release(b.name)
-        assert arena.peak_bytes >= 8192
-        assert arena.active_bytes == 0
-        assert arena.created == 2
+        with SharedArena() as arena:
+            a = arena.lease(4096)
+            b = arena.lease(4096)
+            arena.release(a.name)
+            arena.release(b.name)
+            assert arena.peak_bytes >= 8192
+            assert arena.active_bytes == 0
+            assert arena.created == 2
 
 
 class TestTileSource:

@@ -32,6 +32,10 @@ class TestRegistry:
     def test_at_least_eight_rules_registered(self):
         assert len(all_rules()) >= 8
 
+    def test_whole_program_rules_registered(self):
+        ids = {r.rule_id for r in all_rules()}
+        assert {"RPD113", "RPD114", "RPD115", "RPD116"} <= ids
+
     def test_rules_have_metadata(self):
         for rule in all_rules():
             assert rule.rule_id.startswith("RPD")
@@ -718,3 +722,505 @@ class TestProcessPoolCallable:
             return [queue.submit(lambda x: x, i) for i in items]
         """
         assert lint(source, select=["RPD112"]) == []
+
+
+# ---------------------------------------------------------------------------
+# whole-program rules (RPD113-RPD116)
+
+
+def lint_project(sources, *, select=None):
+    """Analyze a dict of path -> source as one project."""
+    analyzer = Analyzer(select=select)
+    return analyzer.check_sources(
+        {p: textwrap.dedent(s) for p, s in sources.items()}
+    )
+
+
+class TestLockOrder:
+    def test_positive_direct_inversion(self):
+        findings = lint(
+            """
+            import threading
+
+            a_lock = threading.Lock()
+            b_lock = threading.Lock()
+
+            def one():
+                with a_lock:
+                    with b_lock:
+                        pass
+
+            def two():
+                with b_lock:
+                    with a_lock:
+                        pass
+            """,
+            select=["RPD113"],
+        )
+        assert rule_ids(findings) == ["RPD113"]
+        assert "inversion" in findings[0].message
+
+    def test_positive_transitive_self_deadlock(self):
+        findings = lint(
+            """
+            import threading
+
+            io_lock = threading.Lock()
+
+            def flush():
+                with io_lock:
+                    pass
+
+            def outer_op():
+                with io_lock:
+                    flush()
+            """,
+            select=["RPD113"],
+        )
+        assert rule_ids(findings) == ["RPD113"]
+        assert "self-deadlock" in findings[0].message
+
+    def test_positive_inversion_through_calls(self):
+        findings = lint(
+            """
+            import threading
+
+            a_lock = threading.Lock()
+            b_lock = threading.Lock()
+
+            def take_a():
+                with a_lock:
+                    pass
+
+            def take_b():
+                with b_lock:
+                    pass
+
+            def a_then_b():
+                with a_lock:
+                    take_b()
+
+            def b_then_a():
+                with b_lock:
+                    take_a()
+            """,
+            select=["RPD113"],
+        )
+        assert rule_ids(findings) == ["RPD113"]
+        assert "opposite order" in findings[0].message
+
+    def test_negative_consistent_order(self):
+        findings = lint(
+            """
+            import threading
+
+            a_lock = threading.Lock()
+            b_lock = threading.Lock()
+
+            def one():
+                with a_lock:
+                    with b_lock:
+                        pass
+
+            def two():
+                with a_lock:
+                    with b_lock:
+                        pass
+            """,
+            select=["RPD113"],
+        )
+        assert findings == []
+
+    def test_negative_disjoint_pairs(self):
+        findings = lint(
+            """
+            import threading
+
+            a_lock = threading.Lock()
+            b_lock = threading.Lock()
+            c_lock = threading.Lock()
+
+            def one():
+                with a_lock:
+                    with b_lock:
+                        pass
+
+            def two():
+                with c_lock:
+                    with a_lock:
+                        pass
+            """,
+            select=["RPD113"],
+        )
+        assert findings == []
+
+
+class TestResourceLifecycle:
+    def test_positive_lease_leaks_on_exception_path(self):
+        findings = lint(
+            """
+            def fill(arena, n):
+                buf = arena.lease(n)
+                buf.view()[0] = 1
+                arena.release(buf)
+            """,
+            select=["RPD114"],
+        )
+        assert rule_ids(findings) == ["RPD114"]
+        assert "exception path" in findings[0].message
+
+    def test_positive_shm_never_closed(self):
+        findings = lint(
+            """
+            from multiprocessing import shared_memory
+
+            def copy_out(name, sink):
+                shm = shared_memory.SharedMemory(name=name)
+                sink.write(shm.buf[:4])
+            """,
+            select=["RPD114"],
+        )
+        assert rule_ids(findings) == ["RPD114"]
+        assert "any path" in findings[0].message
+
+    def test_positive_init_handle_leaks_if_later_raise(self):
+        findings = lint(
+            """
+            class Reader:
+                def __init__(self, path):
+                    self._fh = open(path, "rb")
+                    self._magic = self._fh.read(4)
+            """,
+            select=["RPD114"],
+        )
+        assert rule_ids(findings) == ["RPD114"]
+        assert "__init__" in findings[0].message
+
+    def test_negative_released_in_finally(self):
+        findings = lint(
+            """
+            from multiprocessing import shared_memory
+
+            def read_one(name, sink):
+                shm = shared_memory.SharedMemory(name=name)
+                try:
+                    sink.write(shm.buf[:4])
+                finally:
+                    shm.close()
+            """,
+            select=["RPD114"],
+        )
+        assert findings == []
+
+    def test_negative_closure_lease_owned_by_enclosing_arena(self):
+        # A lease from a closure-captured arena is cleaned up by the
+        # enclosing function's with-block, not inside the closure.
+        findings = lint(
+            """
+            def make_filler(arena):
+                def fill(n):
+                    buf = arena.lease(n)
+                    buf.view()[0] = n
+                return fill
+            """,
+            select=["RPD114"],
+        )
+        assert findings == []
+
+    def test_negative_guarded_init_cleanup(self):
+        findings = lint(
+            """
+            class Reader:
+                def __init__(self, path):
+                    self._fh = open(path, "rb")
+                    try:
+                        self._magic = self._fh.read(4)
+                    except BaseException:
+                        self.close()
+                        raise
+
+                def close(self):
+                    self._fh.close()
+            """,
+            select=["RPD114"],
+        )
+        assert findings == []
+
+
+_PLAN_SRC = """
+SITES = frozenset({"storage.read", "storage.write"})
+"""
+
+
+class TestChaosCoverage:
+    PLAN = "src/repro/chaos/plan.py"
+
+    def test_positive_unguarded_raw_io_in_storage_scope(self):
+        findings = lint_project(
+            {
+                self.PLAN: _PLAN_SRC,
+                "src/repro/storage/blob.py": """
+                def read_blob(path):
+                    with open(path, "rb") as fh:
+                        return fh.read()
+                """,
+            },
+            select=["RPD115"],
+        )
+        assert rule_ids(findings) == ["RPD115"]
+        assert "raw I/O" in findings[0].message
+        assert findings[0].path == "src/repro/storage/blob.py"
+
+    def test_positive_undeclared_site_string(self):
+        findings = lint_project(
+            {
+                self.PLAN: _PLAN_SRC,
+                "src/repro/storage/blob.py": """
+                def write_blob(injector, path, data):
+                    injector.check("storage.flush", path=str(path))
+                    path.write_bytes(data)
+                """,
+            },
+            select=["RPD115"],
+        )
+        assert rule_ids(findings) == ["RPD115"]
+        assert "storage.flush" in findings[0].message
+        assert "not declared" in findings[0].message
+
+    def test_negative_guarded_io(self):
+        findings = lint_project(
+            {
+                self.PLAN: _PLAN_SRC,
+                "src/repro/storage/blob.py": """
+                def read_blob(injector, path):
+                    injector.check("storage.read", path=str(path))
+                    with open(path, "rb") as fh:
+                        return fh.read()
+                """,
+            },
+            select=["RPD115"],
+        )
+        assert findings == []
+
+    def test_negative_guard_in_direct_callee(self):
+        findings = lint_project(
+            {
+                self.PLAN: _PLAN_SRC,
+                "src/repro/storage/blob.py": """
+                def _consult(injector, path):
+                    injector.check("storage.read", path=str(path))
+
+                def read_blob(injector, path):
+                    _consult(injector, path)
+                    with open(path, "rb") as fh:
+                        return fh.read()
+                """,
+            },
+            select=["RPD115"],
+        )
+        assert findings == []
+
+    def test_negative_io_outside_storage_seams(self):
+        findings = lint_project(
+            {
+                self.PLAN: _PLAN_SRC,
+                "src/repro/core/report.py": """
+                def dump(path, text):
+                    with open(path, "w") as fh:
+                        fh.write(text)
+                """,
+            },
+            select=["RPD115"],
+        )
+        assert findings == []
+
+    def test_negative_without_a_plan_module(self):
+        findings = lint_project(
+            {
+                "src/repro/storage/blob.py": """
+                def read_blob(path):
+                    with open(path, "rb") as fh:
+                        return fh.read()
+                """,
+            },
+            select=["RPD115"],
+        )
+        assert findings == []
+
+
+class TestSolverReachability:
+    SOLVER = "src/repro/optimize/solver.py"
+
+    def test_positive_one_hop_wall_clock(self):
+        findings = lint_project(
+            {
+                "src/repro/core/timing.py": """
+                import time
+
+                def now_ms():
+                    return time.time() * 1000.0
+                """,
+                self.SOLVER: """
+                from repro.core.timing import now_ms
+
+                def solve(x):
+                    return now_ms() + x
+                """,
+            },
+            select=["RPD116"],
+        )
+        assert rule_ids(findings) == ["RPD116"]
+        assert findings[0].path == self.SOLVER
+        assert "time.time" in findings[0].message
+
+    def test_positive_two_hop_unseeded_rng(self):
+        findings = lint_project(
+            {
+                "src/repro/core/noise.py": """
+                import numpy as np
+
+                def jitter(n):
+                    return np.random.rand(n)
+
+                def widen(n):
+                    return jitter(n)
+                """,
+                self.SOLVER: """
+                from repro.core.noise import widen
+
+                def place(n):
+                    return widen(n)
+                """,
+            },
+            select=["RPD116"],
+        )
+        assert rule_ids(findings) == ["RPD116"]
+        assert "np.random.rand" in findings[0].message
+        assert "->" in findings[0].message  # rendered call chain
+
+    def test_negative_direct_call_is_rpd104_territory(self):
+        findings = lint_project(
+            {
+                self.SOLVER: """
+                import time
+
+                def solve(x):
+                    return time.time() + x
+                """,
+            },
+            select=["RPD116"],
+        )
+        assert findings == []
+
+    def test_negative_deterministic_helper(self):
+        findings = lint_project(
+            {
+                "src/repro/core/mathy.py": """
+                def scale(x):
+                    return x * 2.0
+                """,
+                self.SOLVER: """
+                from repro.core.mathy import scale
+
+                def solve(x):
+                    return scale(x)
+                """,
+            },
+            select=["RPD116"],
+        )
+        assert findings == []
+
+    def test_negative_nondet_not_reachable_from_solver(self):
+        findings = lint_project(
+            {
+                "src/repro/core/timing.py": """
+                import time
+
+                def now_ms():
+                    return time.time() * 1000.0
+                """,
+                self.SOLVER: """
+                def solve(x):
+                    return x + 1
+                """,
+            },
+            select=["RPD116"],
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# incremental cache + changed-file scoping
+
+
+from repro.analysis import LintCache  # noqa: E402
+from repro.analysis.cache import engine_fingerprint  # noqa: E402
+
+_DRIFTED = '__all__ = ["nope"]\n'
+
+
+class TestIncrementalCache:
+    def _tree(self, tmp_path):
+        (tmp_path / "a.py").write_text(_DRIFTED)
+        (tmp_path / "b.py").write_text("def ok():\n    return 1\n")
+        return tmp_path
+
+    def test_second_run_is_all_hits_and_identical(self, tmp_path):
+        tree = self._tree(tmp_path)
+        cpath = tmp_path / "cache.json"
+        first = Analyzer().check_paths([tree], cache=LintCache(cpath))
+        cache = LintCache(cpath)
+        second = Analyzer().check_paths([tree], cache=cache)
+        assert cache.hits == 2 and cache.misses == 0
+        assert first == second
+        assert any(f.rule_id == "RPD106" for f in second)
+
+    def test_edit_invalidates_only_that_file(self, tmp_path):
+        tree = self._tree(tmp_path)
+        cpath = tmp_path / "cache.json"
+        Analyzer().check_paths([tree], cache=LintCache(cpath))
+        (tree / "b.py").write_text("def ok():\n    return 2\n")
+        cache = LintCache(cpath)
+        Analyzer().check_paths([tree], cache=cache)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_engine_change_discards_everything(self, tmp_path):
+        tree = self._tree(tmp_path)
+        cpath = tmp_path / "cache.json"
+        Analyzer().check_paths([tree], cache=LintCache(cpath))
+        import json
+
+        doc = json.loads(cpath.read_text())
+        assert doc["engine"] == engine_fingerprint()
+        doc["engine"] = "deadbeefdeadbeef"
+        cpath.write_text(json.dumps(doc))
+        cache = LintCache(cpath)
+        assert cache.files == {}
+
+    def test_one_cache_serves_any_select(self, tmp_path):
+        tree = self._tree(tmp_path)
+        cpath = tmp_path / "cache.json"
+        Analyzer().check_paths([tree], cache=LintCache(cpath))
+        cache = LintCache(cpath)
+        findings = Analyzer(select=["RPD106"]).check_paths(
+            [tree], cache=cache
+        )
+        assert cache.hits == 2 and cache.misses == 0
+        assert rule_ids(findings) == ["RPD106"]
+
+    def test_deleted_file_is_pruned(self, tmp_path):
+        tree = self._tree(tmp_path)
+        cpath = tmp_path / "cache.json"
+        Analyzer().check_paths([tree], cache=LintCache(cpath))
+        (tree / "b.py").unlink()
+        Analyzer().check_paths([tree], cache=LintCache(cpath))
+        cache = LintCache(cpath)
+        assert set(cache.files) == {(tree / "a.py").as_posix()}
+
+    def test_restrict_to_filters_reported_findings(self, tmp_path):
+        tree = self._tree(tmp_path)
+        (tree / "b.py").write_text(_DRIFTED)  # now both files have findings
+        a_posix = (tree / "a.py").as_posix()
+        findings = Analyzer().check_paths([tree], restrict_to={a_posix})
+        assert findings
+        assert all(Path(f.path).as_posix() == a_posix for f in findings)
