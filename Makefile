@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-sanitized lint lint-full bench-lint chaos chaos-soak scrub-smoke bench bench-assert bench-smoke bench-refactor bench-procpipe examples tables figures all clean
+.PHONY: install test test-sanitized lint lint-full bench-lint chaos chaos-soak scrub-smoke scenarios bench bench-assert bench-smoke bench-refactor bench-procpipe examples tables figures all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -78,6 +78,19 @@ scrub-smoke:
 	rm -rf $(SCRUB_WS) $(SCRUB_WS)-field.npy $(SCRUB_WS)-out.npy \
 		$(SCRUB_WS)-plan.json
 	@echo "scrub-smoke: damaged, healed, verified clean"
+
+# Online-reconfiguration scenario suite at reduced scale: the four
+# seeded chaos campaigns (region loss, bandwidth drift, flash crowd,
+# correlated failures) with replay verification and the safety-breach
+# gate.  Exit 3 = replay divergence, exit 4 = breach; both fail the
+# target.  RAPIDS_CHAOS_SEED (default 7) seeds every campaign;
+# trajectory artifacts land in scenario-artifacts/.
+scenarios:
+	rm -rf scenario-artifacts
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.cli \
+		scenarios --epochs 24 --seed $${RAPIDS_CHAOS_SEED:-7} \
+		--verify-replay --outdir scenario-artifacts
+	@echo "scenarios: four campaigns replayed byte-identical, no breaches"
 
 # Time-boxed randomised soak (RAPIDS_CHAOS_SOAK_SECONDS, default 60).
 # Opt-in only: the soak is excluded from tier-1 by its env-var gate.

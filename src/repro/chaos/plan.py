@@ -220,6 +220,11 @@ class FaultPlan:
         unit" and the same schedule drives the same injector as any
         random plan.  Windows already closed (or of zero length after
         rounding) are dropped.
+
+        Passing ``sites=("system.outage",)`` instead emits windowed
+        outage specs, which campaign simulations
+        (:func:`repro.sim.run_campaign`) read as *epoch* windows — the
+        bridge from a maintenance schedule to a region-loss campaign.
         """
         specs: list[FaultSpec] = []
         for sid in sorted(schedule.windows):
@@ -232,7 +237,7 @@ class FaultPlan:
                     specs.append(
                         FaultSpec(
                             site=site,
-                            effect="error",
+                            effect="outage" if site == "system.outage" else "error",
                             where={"system_id": int(sid)},
                             start=lo,
                             stop=hi,

@@ -10,6 +10,8 @@ Subcommands::
     rapids lint [paths...]                  run the rapidslint static analyzer
     rapids chaos                            replay a fault plan end to end
     rapids scrub                            verify a workspace at rest; repair
+    rapids reconfigure                      warm re-solve + live migration
+    rapids scenarios                        run the chaos-campaign scenario suite
 
 The CLI operates on a simple on-disk layout: ``<dir>/component-XX.bin``
 plus a ``manifest`` container holding the reconstruction metadata.
@@ -244,18 +246,26 @@ def _cmd_lint(args) -> int:
     )
 
 
-def _chaos_round(plan, *, size: int, systems: int, strategy: str) -> dict:
+def _chaos_round(
+    plan, *, size: int, systems: int, strategy: str, reconfigure: bool = False
+) -> dict:
     """One prepare → inject → restore round under ``plan``.
 
     Preparation runs clean (the round needs a healthy object to attack);
     the injector and its outages are applied before restore.  Returns a
     JSON-able outcome dict whose bytes depend only on ``(seed, plan)`` —
     the replay-verification contract.
+
+    ``reconfigure`` runs one control-loop step between outage and
+    restore: the operator observes the outage set, re-solves warm, and
+    migrates if it can do so safely (with systems down, migrations
+    defer — which the outcome records).  Off by default so existing
+    plans' replay digests are unperturbed.
     """
     import hashlib
     import tempfile
 
-    from .chaos import FaultInjector
+    from .chaos import FaultInjector, InjectedFault
     from .core import RAPIDS
     from .metadata import MetadataCatalog
     from .storage import StorageCluster
@@ -264,19 +274,35 @@ def _chaos_round(plan, *, size: int, systems: int, strategy: str) -> dict:
     rng = np.random.default_rng(plan.seed)
     data = rng.standard_normal((size, size, size)).astype(np.float32)
     cluster = StorageCluster(paper_bandwidth_profile(systems))
+    reconf = None
     with tempfile.TemporaryDirectory() as tmp:
         with MetadataCatalog(Path(tmp) / "meta") as catalog:
             rapids = RAPIDS(cluster, catalog, ec_workers=1)
             rapids.prepare("chaos:demo", data)
             injector = FaultInjector(plan).install(rapids)
             outages = injector.apply_outages(cluster)
+            if reconfigure:
+                from .control import ReconfigOperator
+
+                try:
+                    ev = ReconfigOperator(rapids).step(0, outages)
+                    reconf = {
+                        "action": ev["action"],
+                        "migrations": ev["migrations"],
+                        "healed": ev["healed"],
+                    }
+                except (InjectedFault, KeyError, ValueError,
+                        OSError, RuntimeError) as exc:
+                    # The injector may fault the operator's own metadata
+                    # reads; record it deterministically, keep restoring.
+                    reconf = {"error": repr(exc)}
             report = rapids.restore("chaos:demo", strategy=strategy)
     digest = (
         hashlib.sha256(report.data.tobytes()).hexdigest()
         if report.data is not None
         else None
     )
-    return {
+    outcome = {
         "seed": plan.seed,
         "outages": outages,
         "levels_used": report.levels_used,
@@ -287,6 +313,9 @@ def _chaos_round(plan, *, size: int, systems: int, strategy: str) -> dict:
         ),
         "injected": injector.summary(),
     }
+    if reconfigure:
+        outcome["reconfigured"] = reconf
+    return outcome
 
 
 def _chaos_workspace(plan, args) -> int:
@@ -349,11 +378,13 @@ def _cmd_chaos(args) -> int:
         return _chaos_workspace(plan, args)
 
     outcome = _chaos_round(
-        plan, size=args.size, systems=args.systems, strategy=args.strategy
+        plan, size=args.size, systems=args.systems, strategy=args.strategy,
+        reconfigure=args.reconfigure,
     )
     if args.verify_replay:
         again = _chaos_round(
-            plan, size=args.size, systems=args.systems, strategy=args.strategy
+            plan, size=args.size, systems=args.systems, strategy=args.strategy,
+            reconfigure=args.reconfigure,
         )
         if json.dumps(outcome, sort_keys=True) != json.dumps(again, sort_keys=True):
             print("REPLAY MISMATCH: identical (seed, plan) produced "
@@ -383,6 +414,136 @@ def _cmd_chaos(args) -> int:
                   f"--systems {args.systems} (or --emit-plan to save it)")
     clean = outcome["degraded"] is None and outcome["data_sha256"] is not None
     return 0 if clean else 2
+
+
+def _cmd_reconfigure(args) -> int:
+    from .control import DriftPolicy, ReconfigOperator
+
+    rapids, catalog = _open_workspace(args.workspace)
+    code = 0
+    results: list[dict] = []
+    try:
+        if args.omega is not None:
+            rapids.omega = args.omega
+        if args.p is not None:
+            rapids.p = args.p
+        operator = ReconfigOperator(
+            rapids, policy=DriftPolicy(budget_evals=args.budget_evals)
+        )
+        names = [args.object] if args.object else catalog.list_objects()
+        for name in names:
+            rec = catalog.get_object(name)
+            if "procpipe" in rec.extra:
+                results.append({"object": name, "skipped": "procpipe"})
+                continue
+            sol = operator.plan(name)
+            entry = {
+                "object": name,
+                "origin": sol.origin,
+                "evaluations": sol.evaluations,
+                "from": [int(m) for m in rec.ft_config],
+                "to": [int(m) for m in sol.ms],
+                "expected_error": sol.expected_error,
+                "overhead": sol.overhead,
+            }
+            if entry["to"] != entry["from"] and not args.dry_run:
+                report = operator.migrator.migrate(name, sol.ms)
+                entry["migrated"] = report.migrated
+                entry["deferred"] = report.deferred
+                entry["deferred_reasons"] = [
+                    s.reason for s in report.steps if s.action == "deferred"
+                ]
+                if report.deferred:
+                    code = 2
+            results.append(entry)
+    finally:
+        catalog.close()
+    if args.json:
+        print(json.dumps(results, indent=2, sort_keys=True))
+        return code
+    for entry in results:
+        if "skipped" in entry:
+            print(f"{entry['object']!r}: skipped ({entry['skipped']})")
+            continue
+        changed = entry["to"] != entry["from"]
+        print(f"{entry['object']!r}: m = {entry['from']} -> {entry['to']}"
+              f" [{entry['origin']} solve, {entry['evaluations']} evals]")
+        if not changed:
+            print("  already optimal under the given parameters")
+        elif args.dry_run:
+            print("  dry run: no migration performed")
+        else:
+            print(f"  migrated {entry.get('migrated', 0)} level(s), "
+                  f"deferred {entry.get('deferred', 0)}")
+            for reason in entry.get("deferred_reasons", []):
+                print(f"    deferred: {reason}")
+    return code
+
+
+def _cmd_scenarios(args) -> int:
+    from .control import SCENARIOS, run_scenario, scenario_json
+
+    if args.list:
+        for spec in SCENARIOS.values():
+            print(f"{spec.name:<16} {spec.title}")
+            print(f"{'':<16} {spec.description}")
+        return 0
+    names = (
+        list(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    )
+    code = 0
+    for name in names:
+        if name not in SCENARIOS:
+            print(f"error: unknown scenario {name!r} "
+                  f"(choose from {', '.join(SCENARIOS)})", file=sys.stderr)
+            return 1
+        result = run_scenario(
+            name, seed=args.seed, epochs=args.epochs,
+            breach_epochs=args.breach_epochs,
+        )
+        text = scenario_json(result)
+        if args.verify_replay:
+            again = scenario_json(run_scenario(
+                name, seed=args.seed, epochs=args.epochs,
+                breach_epochs=args.breach_epochs,
+            ))
+            if text != again:
+                print(f"REPLAY MISMATCH: scenario {name!r} seed "
+                      f"{args.seed} produced different trajectories",
+                      file=sys.stderr)
+                return 3
+        if args.outdir:
+            outdir = Path(args.outdir)
+            outdir.mkdir(parents=True, exist_ok=True)
+            path = outdir / f"{name}-seed{args.seed}.json"
+            path.write_text(text)
+        if args.json:
+            sys.stdout.write(text)
+        else:
+            traj = result["trajectory"]
+            reconfigs = sum(
+                1 for row in traj if row["action"] == "reconfigure"
+            )
+            healed = sum(row["healed"] for row in traj)
+            print(f"{name}: seed {result['seed']}, "
+                  f"{result['epochs']} epochs — "
+                  f"{'OK' if result['ok'] else 'BREACH'}")
+            print(f"  availability {result['campaign']['availability']:.4f}, "
+                  f"mean error {result['campaign']['mean_error']:.3e}")
+            print(f"  reconfigurations {reconfigs}, healed {healed}, "
+                  f"final overhead {traj[-1]['overhead']:.3f}")
+            for obj, info in sorted(result["objects"].items()):
+                if info["initial_ms"] != info["final_ms"]:
+                    print(f"  {obj}: m {info['initial_ms']} "
+                          f"-> {info['final_ms']}")
+            if args.verify_replay:
+                print("  replay verified: byte-identical trajectory")
+            if result["breach_epochs"]:
+                print(f"  SAFETY BREACH at epochs {result['breach_epochs']} "
+                      f"(longest run {result['max_breach_run']})")
+        if not result["ok"]:
+            code = 4
+    return code
 
 
 def _cmd_scrub(args) -> int:
@@ -525,6 +686,10 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["random", "naive", "optimized"])
     ch.add_argument("--verify-replay", action="store_true",
                     help="run the round twice and require identical outcomes")
+    ch.add_argument("--reconfigure", action="store_true",
+                    help="run one control-loop step (observe -> warm "
+                         "re-solve -> live migrate) between outage and "
+                         "restore; the outcome records what it did")
     ch.add_argument("--json", action="store_true",
                     help="print the outcome as JSON")
     ch.add_argument("--workspace", default=None,
@@ -549,6 +714,49 @@ def build_parser() -> argparse.ArgumentParser:
     sc.add_argument("--report", choices=["text", "json"], default="text",
                     help="output format (default: text)")
     sc.set_defaults(func=_cmd_scrub)
+
+    rc = sub.add_parser(
+        "reconfigure",
+        help="re-solve a workspace's FT configurations (warm-started "
+             "from the incumbents) and migrate changed objects live",
+    )
+    rc.add_argument("--workspace", default="rapids-ws")
+    rc.add_argument("--object", default=None,
+                    help="reconfigure only this object (default: all)")
+    rc.add_argument("--omega", type=float, default=None,
+                    help="new storage-overhead budget (default: keep)")
+    rc.add_argument("--p", type=float, default=None,
+                    help="new per-system outage probability (default: keep)")
+    rc.add_argument("--budget-evals", type=int, default=None,
+                    help="solve-time budget in model evaluations")
+    rc.add_argument("--dry-run", action="store_true",
+                    help="plan only; do not migrate")
+    rc.add_argument("--json", action="store_true")
+    rc.set_defaults(func=_cmd_reconfigure)
+
+    sn = sub.add_parser(
+        "scenarios",
+        help="run the deterministic chaos-campaign scenario suite "
+             "(control loop under drift)",
+    )
+    sn.add_argument("--scenario", default="all",
+                    help="scenario name, or 'all' (default)")
+    sn.add_argument("--list", action="store_true",
+                    help="list the scenario catalog and exit")
+    sn.add_argument("--seed", type=int, default=7)
+    sn.add_argument("--epochs", type=int, default=None,
+                    help="override the scenario's epoch count")
+    sn.add_argument("--outdir", default=None,
+                    help="write each trajectory JSON artifact here")
+    sn.add_argument("--breach-epochs", type=int, default=0,
+                    help="max tolerated consecutive safety-breach epochs "
+                         "(default 0: any breach fails)")
+    sn.add_argument("--verify-replay", action="store_true",
+                    help="run each scenario twice and require "
+                         "byte-identical trajectories")
+    sn.add_argument("--json", action="store_true",
+                    help="print the trajectory JSON to stdout")
+    sn.set_defaults(func=_cmd_scenarios)
 
     b = sub.add_parser("estimate-bandwidth",
                        help="synthesize Globus logs and estimate bandwidths")

@@ -1,0 +1,445 @@
+"""Live re-encoding migration: move an object to a new FT config safely.
+
+When the control plane decides a level's parity count ``m_j`` must
+change, the level is re-encoded and re-placed *live*, RapidRAID-style:
+readers never see a window in which fewer than ``k_j`` clean fragments
+are reachable.  The protocol, per level:
+
+1. **Read** ``k_old`` CRC-verified fragments of the current generation
+   and decode the level payload.  The old fragment set is not touched.
+2. **Stage** the re-encoded fragment set under a *new generation*
+   storage name (``<name>@g<gen+1>``, one fragment per system).  The
+   new name collides with nothing; no reader looks at it yet.
+3. **Verify** every staged fragment at rest (read-back + CRC) and write
+   the new generation's fragment records — still shadow state.
+4. **Flip**: one atomic object-record write updates ``ft_config[j]``
+   and the level's generation together.  Readers resolve fragment
+   locations *through* the object record
+   (:meth:`~repro.metadata.catalog.ObjectRecord.level_storage_name`),
+   so before the flip they see the intact old generation and after it
+   the fully redundant new one — there is no intermediate metadata
+   state.
+5. **Retire** the old generation (best-effort deletes; a failure here
+   leaves garbage, never unavailability) and re-commit the ledger.
+
+Any failure before the flip defers the level: staging is cleaned up
+and the old generation remains authoritative — trivially safe.  The
+stage step requires *every* system up (full placement or defer), so a
+flipped level starts at full ``m_new`` headroom.
+
+The invariant — **at every intermediate step, each level tolerates up
+to its current ``m_j`` concurrent outages** — is what
+``tests/test_control.py`` proves under injector traces, probing via
+:func:`level_recoverable` at each :class:`LiveMigrator` checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..chaos.retry import RetryPolicy
+from ..ec import ECConfig
+from ..formats import crc32, verify
+from ..healing.ledger import LedgerEntry
+from ..metadata import FragmentRecord, level_storage_name
+from ..storage.system import StoredFragment
+from ..transfer import TransferRequest, phase_latency
+
+__all__ = [
+    "LiveMigrator",
+    "MigrationReport",
+    "MigrationStep",
+    "level_recoverable",
+    "safety_breaches",
+]
+
+#: Everything a single storage/metadata operation may fail with on the
+#: migration path (mirrors the restore pipeline's fetch errors).
+_IO_ERRORS = (KeyError, ValueError, OSError, RuntimeError)
+
+#: Checkpoint stages, in order, at which a ``checkpoint(stage, level)``
+#: callback fires.  Tests hook these to inject faults mid-migration and
+#: probe the safety invariant between protocol steps.
+CHECKPOINTS = ("decoded", "staged", "flipped", "retired")
+
+
+@dataclass
+class MigrationStep:
+    """Outcome of one level's migration attempt."""
+
+    level: int
+    action: str  # "migrated" | "deferred" | "unchanged"
+    old_m: int
+    new_m: int
+    reason: str = ""
+
+
+@dataclass
+class MigrationReport:
+    """What a migration pass did, and what it cost on the WAN."""
+
+    object_name: str
+    steps: list[MigrationStep] = field(default_factory=list)
+    read_bytes: float = 0.0
+    written_bytes: float = 0.0
+    transfer_latency: float = 0.0
+
+    @property
+    def migrated(self) -> int:
+        return sum(1 for s in self.steps if s.action == "migrated")
+
+    @property
+    def deferred(self) -> int:
+        return sum(1 for s in self.steps if s.action == "deferred")
+
+    @property
+    def complete(self) -> bool:
+        """Every level that needed to move did."""
+        return self.deferred == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "object": self.object_name,
+            "steps": [
+                {
+                    "level": s.level,
+                    "action": s.action,
+                    "old_m": s.old_m,
+                    "new_m": s.new_m,
+                    "reason": s.reason,
+                }
+                for s in self.steps
+            ],
+            "read_bytes": self.read_bytes,
+            "written_bytes": self.written_bytes,
+            "transfer_latency": self.transfer_latency,
+        }
+
+
+class LiveMigrator:
+    """Executes FT-config changes level by level against a live stack.
+
+    Parameters
+    ----------
+    rapids:
+        The :class:`~repro.core.pipeline.RAPIDS` stack whose cluster,
+        catalog, codec and ledger the migration runs against.
+    retry_policy:
+        Per-operation retry policy (defaults to the stack's).
+    """
+
+    def __init__(self, rapids, *, retry_policy: RetryPolicy | None = None) -> None:
+        self.rapids = rapids
+        self.cluster = rapids.cluster
+        self.catalog = rapids.catalog
+        self.ledger = rapids.ledger
+        self.codec = rapids.codec
+        self.retry_policy = retry_policy or rapids.retry_policy
+        self._requests: list[TransferRequest] = []
+
+    # -- public ------------------------------------------------------------
+
+    def migrate(
+        self,
+        name: str,
+        new_ms: "list[int] | tuple[int, ...]",
+        *,
+        checkpoint=None,
+    ) -> MigrationReport:
+        """Migrate ``name`` toward ``new_ms``, one level at a time.
+
+        Levels whose parity is unchanged are skipped; each changed
+        level runs the stage→verify→flip→retire protocol independently
+        (coarser levels first — they gate progressive reconstruction).
+        A level that cannot currently be migrated safely is *deferred*,
+        not forced: the report says so and a later pass retries.
+
+        ``checkpoint(stage, level)`` fires at each :data:`CHECKPOINTS`
+        boundary — the seam fault-injection tests use to perturb and
+        probe mid-migration state.
+        """
+        rec = self.catalog.get_object(name)
+        new_ms = [int(m) for m in new_ms]
+        if len(new_ms) != len(rec.ft_config):
+            raise ValueError("new_ms must keep the level count unchanged")
+        if any(a <= b for a, b in zip(new_ms, new_ms[1:])):
+            raise ValueError(f"new_ms must be strictly decreasing, got {new_ms}")
+        if new_ms[0] >= self.cluster.n or new_ms[-1] < 1:
+            raise ValueError(f"invalid configuration {new_ms} for n={self.cluster.n}")
+        if "procpipe" in rec.extra:
+            raise ValueError(
+                f"{name!r} was prepared by the tiled process engine; "
+                "live re-encoding of per-tile chunk tables is not supported"
+            )
+        report = MigrationReport(object_name=name)
+        self._requests = []
+        for j, target in enumerate(new_ms):
+            rec = self.catalog.get_object(name)  # re-read: prior level flipped it
+            old = int(rec.ft_config[j])
+            if target == old:
+                report.steps.append(MigrationStep(j, "unchanged", old, target))
+                continue
+            self._migrate_level(rec, j, target, report, checkpoint)
+        if self._requests:
+            res = phase_latency(self._requests, self.cluster.bandwidths)
+            report.transfer_latency = float(res.makespan)
+        return report
+
+    # -- per-level protocol ------------------------------------------------
+
+    def _migrate_level(self, rec, j: int, new_m: int, report, checkpoint) -> None:
+        name = rec.name
+        old_m = int(rec.ft_config[j])
+        gen = rec.generations[j]
+        sname_old = level_storage_name(name, gen)
+        sname_new = level_storage_name(name, gen + 1)
+        n = self.cluster.n
+
+        def defer(reason: str) -> None:
+            report.steps.append(
+                MigrationStep(j, "deferred", old_m, new_m, reason)
+            )
+
+        # Full placement or defer: the flipped level must start at full
+        # m_new headroom, which needs one fragment on every system.
+        if self.cluster.failed_ids():
+            defer(f"systems down: {self.cluster.failed_ids()}")
+            return
+
+        # 1. Read k_old clean fragments of the current generation.
+        sources = self._read_sources(sname_old, j, n - old_m, report)
+        if sources is None:
+            defer(f"fewer than k={n - old_m} clean source fragments")
+            return
+        try:
+            payload = self.codec.decode_level(
+                config=ECConfig(n, old_m), fragments=sources, level_index=j
+            )
+        except _IO_ERRORS as exc:
+            defer(f"decode failed: {exc!r}")
+            return
+        self._checkpoint(checkpoint, "decoded", j)
+
+        # 2. Re-encode and stage the new generation (shadow state).
+        enc = self.codec.encode_level(payload, new_m, level_index=j)
+        blobs = enc.fragment_blobs()
+        checksums = [crc32(blob) for blob in blobs]
+        staged: list[int] = []
+        ok = True
+        for idx, blob in enumerate(blobs):
+            if not self._write_staged(sname_new, j, idx, blob, checksums[idx], report):
+                ok = False
+                break
+            staged.append(idx)
+        if not ok:
+            self._cleanup_staged(sname_new, j, staged)
+            defer("staging write failed")
+            return
+        self._checkpoint(checkpoint, "staged", j)
+
+        # 3. Verify every staged fragment at rest, then write the new
+        # generation's fragment records — still invisible to readers.
+        if not self._verify_staged(sname_new, j, blobs, checksums):
+            self._cleanup_staged(sname_new, j, staged)
+            defer("staged fragment failed read-back verification")
+            return
+        try:
+            for idx, blob in enumerate(blobs):
+                self.catalog.put_fragment(
+                    FragmentRecord(
+                        sname_new, j, idx, idx, len(blob),
+                        checksum=checksums[idx],
+                    )
+                )
+        except _IO_ERRORS as exc:
+            self._cleanup_staged(sname_new, j, staged)
+            defer(f"shadow metadata write failed: {exc!r}")
+            return
+
+        # 4. Flip: one object-record write switches ft_config[j] and the
+        # generation together.  Readers go through this record, so the
+        # transition is atomic from their point of view.
+        gens = rec.generations
+        gens[j] = gen + 1
+        rec.ft_config[j] = new_m
+        rec.extra["generations"] = gens
+        try:
+            self.catalog.put_object(rec)
+        except _IO_ERRORS as exc:
+            gens[j] = gen
+            rec.ft_config[j] = old_m
+            rec.extra["generations"] = gens
+            self._cleanup_staged(sname_new, j, staged)
+            defer(f"flip write failed: {exc!r}")
+            return
+        self._checkpoint(checkpoint, "flipped", j)
+
+        # 5. Post-flip: re-commit the ledger for the new generation,
+        # then retire the old one.  Both are best-effort — the flipped
+        # level is already fully redundant and self-describing.
+        try:
+            self.ledger.record(
+                LedgerEntry(
+                    object_name=name,
+                    level=j,
+                    n=n,
+                    m=new_m,
+                    checksums=checksums,
+                    nbytes=[len(b) for b in blobs],
+                    placement=list(range(n)),
+                    headroom=new_m,
+                    storage_name=sname_new,
+                )
+            )
+        except _IO_ERRORS:
+            pass  # the next scrub's rebuild_from_catalog recreates it
+        self._retire(sname_old, j, n)
+        self._checkpoint(checkpoint, "retired", j)
+        report.steps.append(MigrationStep(j, "migrated", old_m, new_m))
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _checkpoint(checkpoint, stage: str, level: int) -> None:
+        if checkpoint is not None:
+            checkpoint(stage, level)
+
+    def _read_sources(
+        self, sname: str, j: int, k: int, report
+    ) -> dict[int, np.ndarray] | None:
+        """``k`` CRC-verified fragments of the current generation."""
+        sources: dict[int, np.ndarray] = {}
+        for idx in sorted(self.cluster.locate(sname, j)):
+            if len(sources) >= k:
+                break
+            try:
+                expected = self.catalog.get_fragment(sname, j, idx).checksum
+            except KeyError:
+                expected = 0
+
+            def attempt() -> bytes:
+                sf = self.cluster.fetch(sname, j, idx)
+                if expected and not verify(sf.payload, expected):
+                    raise ValueError(
+                        f"fragment {idx} of level {j} fails its checksum"
+                    )
+                return sf.payload
+
+            out = self.retry_policy.call(attempt, retry_on=_IO_ERRORS)
+            if not out.ok:
+                continue
+            sources[idx] = np.frombuffer(out.value, dtype=np.uint8)
+            report.read_bytes += float(len(out.value))
+            self._requests.append(
+                TransferRequest(idx, float(len(out.value)),
+                                tag=("migrate-read", j, idx))
+            )
+        return sources if len(sources) >= k else None
+
+    def _write_staged(
+        self, sname: str, j: int, idx: int, blob: bytes, checksum: int, report
+    ) -> bool:
+        frag = StoredFragment(sname, j, idx, len(blob), blob, checksum=checksum)
+        out = self.retry_policy.call(
+            lambda: self.cluster[idx].put(frag), retry_on=_IO_ERRORS
+        )
+        if out.ok:
+            report.written_bytes += float(len(blob))
+            self._requests.append(
+                TransferRequest(idx, float(len(blob)),
+                                tag=("migrate-write", j, idx))
+            )
+        return out.ok
+
+    def _verify_staged(
+        self, sname: str, j: int, blobs: list[bytes], checksums: list[int]
+    ) -> bool:
+        for idx in range(len(blobs)):
+            def attempt() -> bytes:
+                sf = self.cluster[idx].get(sname, j, idx)
+                if sf.payload is None or not verify(sf.payload, checksums[idx]):
+                    raise ValueError(
+                        f"staged fragment {idx} of level {j} fails read-back"
+                    )
+                return sf.payload
+
+            out = self.retry_policy.call(attempt, retry_on=_IO_ERRORS)
+            if not out.ok:
+                return False
+        return True
+
+    def _cleanup_staged(self, sname: str, j: int, staged: list[int]) -> None:
+        """Best-effort removal of a failed staging attempt's fragments.
+
+        A fragment stuck on an unreachable system is harmless: the next
+        attempt at this generation overwrites it with identical bytes
+        (the re-encode is deterministic), and no reader resolves the
+        staging name until a flip commits it.
+        """
+        for idx in staged:
+            try:
+                system = self.cluster[idx]
+                if system.available and system.has(sname, j, idx):
+                    system.delete(sname, j, idx)
+            except _IO_ERRORS:
+                pass
+        try:
+            for key in self.catalog.store.keys(
+                f"frag/{sname}/{j:04d}/".encode()
+            ):
+                self.catalog.store.delete(key)
+        except _IO_ERRORS:
+            pass
+
+    def _retire(self, sname: str, j: int, n: int) -> None:
+        """Delete the previous generation's fragments and records."""
+        for system in self.cluster.systems:
+            for idx in range(n):
+                try:
+                    if system.available and system.has(sname, j, idx):
+                        system.delete(sname, j, idx)
+                except _IO_ERRORS:
+                    pass
+        try:
+            for key in self.catalog.store.keys(
+                f"frag/{sname}/{j:04d}/".encode()
+            ):
+                self.catalog.store.delete(key)
+        except _IO_ERRORS:
+            pass
+
+
+# -- recoverability probes (used by tests and the scenario gate) -----------
+
+
+def level_recoverable(rapids, name: str, level: int) -> bool:
+    """Can ``level`` be decoded right now (>= k reachable fragments of
+    the generation the object record points at)?
+
+    A cheap presence probe — no payload reads — used to check the
+    migration safety invariant between protocol steps.
+    """
+    rec = rapids.catalog.get_object(name)
+    sname = rec.level_storage_name(level)
+    k = rapids.cluster.n - int(rec.ft_config[level])
+    return len(rapids.cluster.locate(sname, level)) >= k
+
+
+def safety_breaches(rapids, name: str) -> list[int]:
+    """Levels below their design availability *due to the system itself*.
+
+    A level is breached when it is unrecoverable even though the number
+    of concurrent outages is within its design tolerance ``m_j`` — i.e.
+    the environment did not exceed the design point, so the loss is
+    attributable to reconfiguration/migration, not to fate.  The
+    scenario suite requires this list to stay empty at every epoch.
+    """
+    rec = rapids.catalog.get_object(name)
+    down = len(rapids.cluster.failed_ids())
+    return [
+        j
+        for j, m in enumerate(rec.ft_config)
+        if down <= int(m) and not level_recoverable(rapids, name, j)
+    ]

@@ -20,6 +20,8 @@ from .ft_optimizer import (
     brute_force,
     heuristic,
     initial_configuration,
+    repair_configuration,
+    warm_start,
 )
 from .gathering import (
     GatheringOutcome,
@@ -60,6 +62,8 @@ __all__ = [
     "brute_force",
     "heuristic",
     "initial_configuration",
+    "repair_configuration",
+    "warm_start",
     "GatheringOutcome",
     "random_strategy",
     "naive_strategy",

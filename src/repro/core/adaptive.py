@@ -28,14 +28,35 @@ class BandwidthTracker:
     prior:
         Static per-system estimates used until observations arrive
         (the §5.1.2 log-derived profile).
+    staleness_horizon:
+        Age (in :meth:`tick` units) at which a system's EWMA estimate
+        has decayed to ``1/e`` of its distance from the prior.  Without
+        one (the default), an estimate pins forever — a system idle for
+        a month still reports the throughput of its last transfer.  With
+        one, ``estimates()`` blends ``prior + (ewma - prior) * exp(-age
+        / horizon)``, so a long-idle system decays monotonically back
+        toward its prior.  The clock is advanced explicitly via
+        :meth:`tick` (the control plane ticks once per epoch); there is
+        no wall clock, so replays stay deterministic.
     """
 
-    def __init__(self, catalog: MetadataCatalog, prior: np.ndarray) -> None:
+    def __init__(
+        self,
+        catalog: MetadataCatalog,
+        prior: np.ndarray,
+        *,
+        staleness_horizon: float | None = None,
+    ) -> None:
         prior = np.asarray(prior, dtype=np.float64)
         if np.any(prior <= 0):
             raise ValueError("prior bandwidths must be positive")
+        if staleness_horizon is not None and staleness_horizon <= 0:
+            raise ValueError("staleness_horizon must be positive")
         self.catalog = catalog
         self.prior = prior
+        self.staleness_horizon = staleness_horizon
+        self._clock = 0.0
+        self._last_seen: dict[int, float] = {}
 
     @property
     def n(self) -> int:
@@ -48,6 +69,18 @@ class BandwidthTracker:
         if nbytes <= 0 or seconds <= 0:
             raise ValueError("need positive bytes and duration")
         self.catalog.record_throughput(system_id, nbytes / seconds)
+        self._last_seen[system_id] = self._clock
+
+    def tick(self, steps: float = 1.0) -> None:
+        """Advance the staleness clock (one call per epoch/round)."""
+        if steps < 0:
+            raise ValueError("cannot tick backwards")
+        self._clock += steps
+
+    def age(self, system_id: int) -> float:
+        """Ticks since the last observation of ``system_id`` (0 when the
+        history predates this tracker instance: trust it until idle)."""
+        return self._clock - self._last_seen.get(system_id, self._clock)
 
     def observe_outcome(
         self,
@@ -72,13 +105,17 @@ class BandwidthTracker:
                 self.observe(int(i), frag * per_system[i], seconds)
 
     def estimates(self) -> np.ndarray:
-        """Current per-system estimates: EWMA where history exists,
-        otherwise the prior."""
+        """Current per-system estimates: EWMA where history exists
+        (decayed toward the prior by staleness), otherwise the prior."""
         out = self.prior.copy()
         for i in range(self.n):
             est = self.catalog.bandwidth_estimate(i)
-            if est is not None:
-                out[i] = est
+            if est is None:
+                continue
+            if self.staleness_horizon is not None:
+                weight = float(np.exp(-self.age(i) / self.staleness_horizon))
+                est = self.prior[i] + (est - self.prior[i]) * weight
+            out[i] = est
         return out
 
     def estimation_error(self, true_bandwidths: np.ndarray) -> float:

@@ -39,7 +39,15 @@ import numpy as np
 
 from .availability import refactored_storage_overhead
 
-__all__ = ["FTProblem", "FTSolution", "brute_force", "heuristic", "initial_configuration"]
+__all__ = [
+    "FTProblem",
+    "FTSolution",
+    "brute_force",
+    "heuristic",
+    "initial_configuration",
+    "repair_configuration",
+    "warm_start",
+]
 
 
 @dataclass(frozen=True)
@@ -159,6 +167,9 @@ class FTSolution:
     overhead: float
     evaluations: int
     elapsed: float
+    #: Which search produced the configuration: ``"cold"`` (Eq. 9
+    #: initialiser) or ``"warm"`` (seeded from an incumbent config).
+    origin: str = "cold"
 
 
 #: Relative tolerance below which two expected errors are considered tied.
@@ -309,3 +320,89 @@ def heuristic(
         ms, problem.objective(ms), problem.overhead(ms), evals,
         time.perf_counter() - start,
     )
+
+
+def repair_configuration(
+    problem: FTProblem, ms: "list[int] | tuple[int, ...]"
+) -> list[int] | None:
+    """Project an incumbent configuration onto ``problem``'s feasible set.
+
+    An incumbent solved under *yesterday's* parameters (different n, p,
+    sizes, or omega) may violate today's ordering bounds or overhead
+    budget.  This clamps each level into the strictly decreasing ladder
+    ``n > m_1 > ... > m_l >= 1`` and then sheds parity — largest
+    overhead relief first — until the Eq. 6 budget holds.  Returns
+    ``None`` when no repair exists (wrong level count, or even the
+    minimal ladder busts the budget), signalling the caller to fall back
+    to a cold solve.
+    """
+    l = problem.l
+    if len(ms) != l:
+        return None
+    out = [int(m) for m in ms]
+    # Bottom-up clamp: m_l in [1, n-l], each higher level strictly above
+    # the one below and at most n-1-x.  n > l guarantees the bounds are
+    # non-empty, so this always yields a valid ladder.
+    out[l - 1] = min(max(out[l - 1], 1), problem.n - l)
+    for x in range(l - 2, -1, -1):
+        out[x] = min(max(out[x], out[x + 1] + 1), problem.n - 1 - x)
+    # Shed parity until the overhead budget holds: repeatedly decrement
+    # the level whose decrement frees the most storage while keeping the
+    # ladder strictly decreasing.
+    while problem.overhead(out) > problem.omega + 1e-12:
+        best_x, best_gain = None, 0.0
+        for x in range(l):
+            lower = out[x + 1] + 1 if x < l - 1 else 1
+            if out[x] - 1 < lower:
+                continue
+            cand = list(out)
+            cand[x] -= 1
+            gain = problem.overhead(out) - problem.overhead(cand)
+            if gain > best_gain + 1e-15:
+                best_x, best_gain = x, gain
+        if best_x is None:
+            return None  # already the minimal ladder; budget infeasible
+        out[best_x] -= 1
+    return out
+
+
+def warm_start(
+    problem: FTProblem,
+    incumbent: "list[int] | tuple[int, ...] | None",
+    *,
+    budget_evals: int | None = None,
+) -> FTSolution:
+    """Re-solve under drifted parameters, seeded from the incumbent.
+
+    The incumbent ``(m_1, ..., m_l)`` is repaired onto the new problem's
+    feasible set (see :func:`repair_configuration`) and used as the
+    heuristic's starting point.  Because the grow phase only takes
+    improving moves and the prune phase only removes parity whose
+    contribution is below numerical resolution, the warm solution is
+    never worse than the (repaired) incumbent under the drifted
+    parameters — the property the control plane's reconfiguration loop
+    relies on.
+
+    ``budget_evals`` bounds the solve in *model evaluations* — the
+    deterministic proxy for solve time (a wall-clock budget would make
+    replay runs diverge).  When the warm solve leaves budget to spare
+    (or no budget is set), a cold solve runs as well and the
+    lexicographically better of the two wins; an unrepairable incumbent
+    always falls back to the cold solve.
+    """
+    seed = repair_configuration(problem, incumbent) if incumbent is not None else None
+    if seed is None:
+        return heuristic(problem)
+    warm = heuristic(problem, initial=seed)
+    warm.origin = "warm"
+    if budget_evals is not None and warm.evaluations >= budget_evals:
+        return warm
+    cold = heuristic(problem)
+    if _better(cold.expected_error, cold.overhead,
+               warm.expected_error, warm.overhead):
+        cold.evaluations += warm.evaluations
+        cold.elapsed += warm.elapsed
+        return cold
+    warm.evaluations += cold.evaluations
+    warm.elapsed += cold.elapsed
+    return warm

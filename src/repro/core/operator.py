@@ -129,7 +129,8 @@ class ProactiveOperator:
         rapids = self.archive.rapids
         rec = rapids.catalog.get_object(name)
         cfg = ECConfig(rapids.cluster.n, rec.ft_config[level])
-        present = rapids.cluster.locate(name, level)
+        sname = rec.level_storage_name(level)
+        present = rapids.cluster.locate(sname, level)
         idx = sorted(present)[: cfg.k]
         if len(idx) < cfg.k:
             raise RuntimeError(
@@ -138,7 +139,7 @@ class ProactiveOperator:
         frags = {
             i: np.frombuffer(
                 # rapidslint: disable-next=RPD111 -- fetch() goes through StorageSystem.get, which raises CorruptFragmentError on CRC mismatch
-                rapids.cluster.fetch(name, level, i).payload, np.uint8
+                rapids.cluster.fetch(sname, level, i).payload, np.uint8
             )
             for i in idx
         }

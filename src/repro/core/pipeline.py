@@ -542,6 +542,7 @@ class RAPIDS:
         parallelism: str | None = None,
         processes: int | None = None,
         max_inflight: int | None = None,
+        record_access: bool = False,
     ) -> RestoreReport:
         """Run the restoration phase against the cluster's current failures.
 
@@ -598,6 +599,16 @@ class RAPIDS:
             )
             return self._degraded_empty(name, failures, faults_before)
         rec = meta.value
+        if record_access:
+            # Advisory access-frequency telemetry for the control
+            # plane's flash-crowd detection.  Off by default so replay
+            # digests of existing chaos plans are unperturbed (every
+            # extra kvstore put shifts site-scoped occurrence counters).
+            try:
+                self.catalog.record_access(name)
+            except _DEGRADABLE:
+                if not degrade:
+                    raise
         failed = self.cluster.failed_ids()
         n = self.cluster.n
 
@@ -642,7 +653,7 @@ class RAPIDS:
         for col, j in enumerate(level_ids):
             try:
                 gathered[j] = self._gather_level(
-                    name, j, col, outcome, rec, crc_erasures
+                    j, col, outcome, rec, crc_erasures
                 )
             except _DEGRADABLE as exc:
                 if not degrade:
@@ -913,7 +924,7 @@ class RAPIDS:
         return out.value
 
     def _gather_level(
-        self, name: str, j: int, col: int,
+        self, j: int, col: int,
         outcome: GatheringOutcome, rec: ObjectRecord,
         crc_tally: list[int],
     ) -> dict[int, np.ndarray]:
@@ -928,31 +939,36 @@ class RAPIDS:
         the EC math tolerates exactly like an outage.  Raises when fewer
         than ``k`` clean fragments remain.
         """
+        # Fragments live under the level's *storage name*: the object
+        # name for generation 0, or the migration-bumped generation the
+        # object record points at (the atomic-flip indirection of the
+        # control plane's live re-encoding).
+        sname = rec.level_storage_name(j)
         frags: dict[int, np.ndarray] = {}
         lost: list[int] = []
         selected = [int(i) for i in np.nonzero(outcome.x[:, col])[0]]
         for i in selected:
             try:
-                frags[i] = self._fetch_checked(name, j, i, crc_tally)
+                frags[i] = self._fetch_checked(sname, j, i, crc_tally)
             except _FETCH_ERRORS:
                 lost.append(i)
         needed = self.cluster.n - rec.ft_config[j]
         if lost:
             spares = [
                 idx
-                for idx in sorted(self.cluster.locate(name, j))
+                for idx in sorted(self.cluster.locate(sname, j))
                 if idx not in set(selected)
             ]
             for idx in spares:
                 if len(frags) >= needed:
                     break
                 try:
-                    frags[idx] = self._fetch_checked(name, j, idx, crc_tally)
+                    frags[idx] = self._fetch_checked(sname, j, idx, crc_tally)
                 except _FETCH_ERRORS:
                     continue
         if len(frags) < needed:
             raise RuntimeError(
-                f"level {j} of {name!r}: {len(lost)} fragment(s) lost, "
+                f"level {j} of {rec.name!r}: {len(lost)} fragment(s) lost, "
                 f"{len(frags)}/{needed} clean after spares — cannot decode"
             )
         return frags

@@ -42,6 +42,11 @@ class LedgerEntry:
     nbytes: list[int]     # fragment index -> payload size
     placement: list[int]  # fragment index -> authoritative system id
     headroom: int         # m minus known unrepaired damage
+    #: Name the fragments are stored under on the cluster.  Empty means
+    #: the object name itself (generation 0 — every pre-migration
+    #: entry, so old JSON entries round-trip unchanged); live migration
+    #: re-records the entry with the new generation's storage name.
+    storage_name: str = ""
 
     def __post_init__(self) -> None:
         if not (len(self.checksums) == len(self.nbytes) == len(self.placement) == self.n):
@@ -51,6 +56,11 @@ class LedgerEntry:
     def k(self) -> int:
         """Fragments needed to decode (n - m)."""
         return self.n - self.m
+
+    @property
+    def store_name(self) -> str:
+        """Cluster-side name of this level's fragment set."""
+        return self.storage_name or self.object_name
 
     @property
     def deficit(self) -> int:
@@ -143,8 +153,9 @@ class DurabilityLedger:
             for level, m in enumerate(rec.ft_config):
                 if only_missing and self.get(name, level) is not None:
                     continue
+                sname = rec.level_storage_name(level)
                 frags = sorted(
-                    catalog.level_fragments(name, level), key=lambda f: f.index
+                    catalog.level_fragments(sname, level), key=lambda f: f.index
                 )
                 if len(frags) != rec.n_systems:
                     continue  # partial records: not a durable level
@@ -158,6 +169,7 @@ class DurabilityLedger:
                         nbytes=[f.nbytes for f in frags],
                         placement=[f.system_id for f in frags],
                         headroom=int(m),
+                        storage_name="" if sname == name else sname,
                     )
                 )
                 written += 1

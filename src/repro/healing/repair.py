@@ -196,7 +196,7 @@ class RepairEngine:
         report: RepairReport,
         dry_run: bool,
     ) -> None:
-        name, level = entry.object_name, entry.level
+        name, level = entry.store_name, entry.level
         damaged = set(damaged)
 
         # 1. Adopt or clear stale copies.  An index whose authoritative
@@ -229,7 +229,7 @@ class RepairEngine:
         # sources shared across all of the stripe's targets.
         if not damaged:
             if not dry_run:
-                self.ledger.set_headroom(name, level, entry.m)
+                self.ledger.set_headroom(entry.object_name, level, entry.m)
             return
         cfg = ECConfig(entry.n, entry.m)
         sources = self._gather_sources(entry, damaged, cfg.k, report)
@@ -259,11 +259,13 @@ class RepairEngine:
                              sources=sorted(sources), nbytes=len(blob))
             )
         if not dry_run:
-            self.ledger.set_headroom(name, level, entry.m - len(unrepaired))
+            self.ledger.set_headroom(
+                entry.object_name, level, entry.m - len(unrepaired)
+            )
 
     def _home_holds(self, entry: LedgerEntry, index: int) -> bool:
         home = self.cluster[entry.placement[index]]
-        return home.available and home.has(entry.object_name, entry.level, index)
+        return home.available and home.has(entry.store_name, entry.level, index)
 
     def _point_at(self, entry: LedgerEntry, index: int, system_id: int) -> None:
         self.ledger.set_placement(
@@ -283,12 +285,12 @@ class RepairEngine:
     def _upsert_record(self, entry: LedgerEntry, index: int, sid: int) -> None:
         try:
             self.catalog.relocate_fragment(
-                entry.object_name, entry.level, index, sid
+                entry.store_name, entry.level, index, sid
             )
         except KeyError:
             self.catalog.put_fragment(
                 FragmentRecord(
-                    entry.object_name, entry.level, index, sid,
+                    entry.store_name, entry.level, index, sid,
                     entry.nbytes[index], checksum=entry.checksums[index],
                 )
             )
@@ -303,7 +305,7 @@ class RepairEngine:
         system = self.cluster[system_id]
 
         def attempt() -> bytes:
-            frag = system.get(entry.object_name, entry.level, index)
+            frag = system.get(entry.store_name, entry.level, index)
             if frag.payload is None or not verify(
                 frag.payload, entry.checksums[index]
             ):
@@ -345,11 +347,11 @@ class RepairEngine:
     def _holder_of(self, entry: LedgerEntry, index: int) -> int | None:
         home = entry.placement[index]
         if self.cluster[home].available and self.cluster[home].has(
-            entry.object_name, entry.level, index
+            entry.store_name, entry.level, index
         ):
             return home
         for s in self.cluster.systems:
-            if s.available and s.has(entry.object_name, entry.level, index):
+            if s.available and s.has(entry.store_name, entry.level, index):
                 return s.system_id
         return None
 
@@ -372,10 +374,10 @@ class RepairEngine:
                 # stale-placement finding for the next sweep.
                 for s in self.cluster.systems:
                     if s.system_id != target and s.available and s.has(
-                        entry.object_name, entry.level, index
+                        entry.store_name, entry.level, index
                     ):
                         self._clear_copy(
-                            entry.object_name, entry.level, index,
+                            entry.store_name, entry.level, index,
                             s.system_id,
                         )
                 return target
@@ -394,7 +396,7 @@ class RepairEngine:
         system — any available system that does not already hold *this*
         fragment, trading placement independence for durability.
         """
-        name, level = entry.object_name, entry.level
+        name, level = entry.store_name, entry.level
         home = entry.placement[index]
         # Systems hosting *other* fragments of this stripe; a system
         # holding only this index's (corrupt) copy may be overwritten.
@@ -448,7 +450,7 @@ class RepairEngine:
         report: RepairReport,
     ) -> bool:
         frag = StoredFragment(
-            entry.object_name, entry.level, index,
+            entry.store_name, entry.level, index,
             len(blob), blob, checksum=entry.checksums[index],
         )
         out = self.retry_policy.call(

@@ -204,7 +204,7 @@ class Scrubber:
                 s.system_id
                 for s in self.cluster.systems
                 if s.available
-                and s.has(entry.object_name, entry.level, index)
+                and s.has(entry.store_name, entry.level, index)
             ]
             if home in holders:
                 kind, detail = self._verify_at(entry, index, home, report)
@@ -256,7 +256,7 @@ class Scrubber:
         system = self.cluster[system_id]
 
         def attempt():
-            frag = system.get(entry.object_name, entry.level, index)
+            frag = system.get(entry.store_name, entry.level, index)
             if frag.payload is not None and not verify(
                 frag.payload, entry.checksums[index]
             ):

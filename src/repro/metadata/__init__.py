@@ -1,6 +1,11 @@
 """Metadata management: embedded KV store (RocksDB substitute) + catalog."""
 
-from .catalog import FragmentRecord, MetadataCatalog, ObjectRecord
+from .catalog import (
+    FragmentRecord,
+    MetadataCatalog,
+    ObjectRecord,
+    level_storage_name,
+)
 from .kvstore import CorruptionError, KVStore
 from .replicated import QuorumError, ReplicatedKVStore
 
@@ -10,6 +15,7 @@ __all__ = [
     "MetadataCatalog",
     "ObjectRecord",
     "FragmentRecord",
+    "level_storage_name",
     "ReplicatedKVStore",
     "QuorumError",
 ]

@@ -10,8 +10,15 @@ described in §4.3).
 Key layout (all UTF-8)::
 
     obj/<name>                      -> object record (JSON)
-    frag/<name>/<level>/<index>     -> fragment record (JSON)
+    frag/<sname>/<level>/<index>    -> fragment record (JSON)
     bw/<system_id>                  -> throughput history (JSON list)
+    acc/<name>                      -> cumulative access count (JSON int)
+
+``<sname>`` is the *storage name* of a level: the object name itself
+for generation 0, or ``<name>@g<gen>`` after a live re-encoding
+migration bumped that level's generation (see
+:func:`level_storage_name`).  The ``@g`` suffix is reserved — object
+names must not contain it.
 """
 
 from __future__ import annotations
@@ -22,7 +29,27 @@ from pathlib import Path
 
 from .kvstore import KVStore
 
-__all__ = ["ObjectRecord", "FragmentRecord", "MetadataCatalog"]
+__all__ = [
+    "ObjectRecord",
+    "FragmentRecord",
+    "MetadataCatalog",
+    "level_storage_name",
+]
+
+
+def level_storage_name(name: str, generation: int) -> str:
+    """Storage-layer name for one level of an object.
+
+    Live migration re-encodes a level under a fresh *generation* so the
+    new fragment set never collides with the old one on the cluster or
+    in the fragment records; the single atomic flip is the object
+    record's per-level generation list.  Generation 0 — every object at
+    prepare time — keeps the bare name, so unmigrated workspaces are
+    untouched.
+    """
+    if generation < 0:
+        raise ValueError("generation must be >= 0")
+    return name if generation == 0 else f"{name}@g{generation}"
 
 
 @dataclass
@@ -43,6 +70,19 @@ class ObjectRecord:
     @property
     def num_levels(self) -> int:
         return len(self.level_sizes)
+
+    @property
+    def generations(self) -> list[int]:
+        """Per-level storage generation (0 = as prepared; bumped by
+        live migration).  Stored in ``extra`` so old records round-trip
+        unchanged."""
+        gens = self.extra.get("generations")
+        if gens is None:
+            return [0] * self.num_levels
+        return [int(g) for g in gens]
+
+    def level_storage_name(self, level: int) -> str:
+        return level_storage_name(self.name, self.generations[level])
 
 
 @dataclass
@@ -93,10 +133,13 @@ class MetadataCatalog:
         return [k.decode()[4:] for k in self.store.keys(b"obj/")]
 
     def delete_object(self, name: str) -> None:
-        """Remove an object and all its fragment records."""
+        """Remove an object and all its fragment records (every
+        storage generation) plus its access counter."""
         self.store.delete(f"obj/{name}".encode())
-        for key in self.store.keys(f"frag/{name}/".encode()):
-            self.store.delete(key)
+        for prefix in (f"frag/{name}/", f"frag/{name}@"):
+            for key in self.store.keys(prefix.encode()):
+                self.store.delete(key)
+        self.store.delete(f"acc/{name}".encode())
 
     # -- fragments -----------------------------------------------------------
 
@@ -126,6 +169,31 @@ class MetadataCatalog:
         rec = self.get_fragment(object_name, level, index)
         rec.system_id = new_system
         self.put_fragment(rec)
+
+    # -- access frequency -------------------------------------------------------
+
+    def record_access(self, name: str, count: int = 1) -> int:
+        """Bump an object's cumulative access counter; returns the new
+        total.  The control plane differences successive totals to see
+        per-epoch request rates (flash-crowd detection)."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        key = f"acc/{name}".encode()
+        raw = self.store.get(key)
+        total = (int(json.loads(raw)) if raw else 0) + int(count)
+        self.store.put(key, json.dumps(total).encode())
+        return total
+
+    def access_count(self, name: str) -> int:
+        raw = self.store.get(f"acc/{name}".encode())
+        return int(json.loads(raw)) if raw else 0
+
+    def access_counts(self) -> dict[str, int]:
+        """Cumulative access counts for every tracked object."""
+        return {
+            k.decode()[4:]: int(json.loads(v))
+            for k, v in self.store.scan(b"acc/")
+        }
 
     # -- bandwidth history ------------------------------------------------------
 

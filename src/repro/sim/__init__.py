@@ -1,7 +1,12 @@
 """Monte Carlo and campaign simulation: empirical validation of the
 availability / expected-error models."""
 
-from .campaign import CampaignConfig, CampaignStats, run_campaign
+from .campaign import (
+    CampaignConfig,
+    CampaignStats,
+    plan_outages_at_epoch,
+    run_campaign,
+)
 from .montecarlo import (
     MonteCarloResult,
     simulate_expected_error,
@@ -14,5 +19,6 @@ __all__ = [
     "simulate_unavailability",
     "CampaignConfig",
     "CampaignStats",
+    "plan_outages_at_epoch",
     "run_campaign",
 ]

@@ -8,17 +8,32 @@ request actually received.  Aggregated over a long campaign, this yields
 the empirical availability/accuracy statistics that the Eq. 5 design
 target should predict — including regimes the analytic model does not
 cover (repair backlogs, correlated outages).
+
+Beyond the default independent per-epoch Markov chains, a campaign can
+draw its outages from a *failure model* — anything with
+``sample_failed_ids(n)`` (e.g. :class:`~repro.storage.failures.
+CorrelatedFailureModel`), an epoch-indexed callable, or a
+:class:`~repro.chaos.FaultPlan` whose ``system.outage`` occurrence
+windows are interpreted as epoch windows — and a *step hook* can
+reconfigure the object's fault tolerance mid-campaign (the control
+plane's reconfiguration loop plugs in here).
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core.gathering import recoverable_levels
 
-__all__ = ["CampaignConfig", "CampaignStats", "run_campaign"]
+__all__ = [
+    "CampaignConfig",
+    "CampaignStats",
+    "run_campaign",
+    "plan_outages_at_epoch",
+]
 
 
 @dataclass(frozen=True)
@@ -58,10 +73,7 @@ class CampaignConfig:
             raise ValueError("p_fail and p_repair must be in (0, 1]")
         if len(self.ms) != len(self.errors):
             raise ValueError("ms and errors must align")
-        if any(a <= b for a, b in zip(self.ms, self.ms[1:])):
-            raise ValueError("ms must be strictly decreasing")
-        if self.ms[0] >= self.n or self.ms[-1] < 1:
-            raise ValueError("need n > m_1 and m_l >= 1")
+        _check_ms(self.ms, self.n)
         if self.epochs < 1 or self.requests_per_epoch < 1:
             raise ValueError("epochs and requests_per_epoch must be >= 1")
 
@@ -69,6 +81,13 @@ class CampaignConfig:
     def steady_state_p(self) -> float:
         """Long-run per-system unavailability of the up/down Markov chain."""
         return self.p_fail / (self.p_fail + self.p_repair)
+
+
+def _check_ms(ms, n: int) -> None:
+    if any(a <= b for a, b in zip(ms, ms[1:])):
+        raise ValueError("ms must be strictly decreasing")
+    if ms[0] >= n or ms[-1] < 1:
+        raise ValueError("need n > m_1 and m_l >= 1")
 
 
 @dataclass
@@ -82,6 +101,9 @@ class CampaignStats:
     error_sum: float = 0.0
     levels_histogram: dict[int, int] = field(default_factory=dict)
     max_concurrent_failures: int = 0
+    #: Per-epoch rows (only when ``record_trajectory=True``): epoch,
+    #: failure count, recoverable level count, active ms, request error.
+    trajectory: list[dict] = field(default_factory=list)
 
     @property
     def mean_error(self) -> float:
@@ -99,30 +121,126 @@ class CampaignStats:
         return self.full_accuracy / self.requests if self.requests else 0.0
 
 
-def run_campaign(config: CampaignConfig, *, seed: int = 0) -> CampaignStats:
+def plan_outages_at_epoch(plan, epoch: int, n: int) -> list[int]:
+    """Which systems a :class:`~repro.chaos.FaultPlan` takes down at
+    ``epoch``.
+
+    The injector has no wall clock, so a campaign reinterprets each
+    ``system.outage`` spec's occurrence window ``[start, stop)`` as an
+    *epoch* window.  Probabilistic specs draw per (plan seed, spec,
+    system, epoch) via the same hash-derived scheme as the injector —
+    never from shared-RNG call order — so an identical plan replays an
+    identical outage sequence regardless of what else the caller does.
+    """
+    down: set[int] = set()
+    for pos, spec in enumerate(plan.specs):
+        if spec.site != "system.outage":
+            continue
+        if epoch < spec.start:
+            continue
+        if spec.stop is not None and epoch >= spec.stop:
+            continue
+        sids = (
+            [int(spec.where["system_id"])]
+            if "system_id" in spec.where
+            else list(range(n))
+        )
+        for sid in sids:
+            if not 0 <= sid < n:
+                continue
+            if spec.probability >= 1.0:
+                down.add(sid)
+                continue
+            digest = hashlib.sha256(
+                f"{plan.seed}|outage|{pos}|{sid}|{epoch}".encode()
+            ).digest()
+            draw = int.from_bytes(digest[:8], "big") / float(2**64)
+            if draw < spec.probability:
+                down.add(sid)
+    return sorted(down)
+
+
+def _failures_for_epoch(failure_model, epoch: int, n: int) -> list[int]:
+    """Resolve one epoch's outage set from whatever model was given."""
+    failed_at = getattr(failure_model, "failed_at", None)
+    if failed_at is not None:
+        return sorted(set(int(i) for i in failed_at(epoch, n)))
+    if hasattr(failure_model, "specs"):  # a FaultPlan
+        return plan_outages_at_epoch(failure_model, epoch, n)
+    if callable(failure_model):
+        return sorted(set(int(i) for i in failure_model(epoch, n)))
+    sample = getattr(failure_model, "sample_failed_ids", None)
+    if sample is not None:
+        return sorted(set(int(i) for i in sample(n)))
+    raise TypeError(
+        "failure_model must be a FaultPlan, expose sample_failed_ids(n) "
+        "or failed_at(epoch, n), or be callable(epoch, n)"
+    )
+
+
+def run_campaign(
+    config: CampaignConfig,
+    *,
+    seed: int = 0,
+    failure_model=None,
+    step_hook=None,
+    record_trajectory: bool = False,
+) -> CampaignStats:
     """Run the campaign and return aggregate request statistics.
 
-    System state evolves as independent two-state Markov chains (up/down
-    with the configured transition probabilities), which converges to
-    i.i.d. Bernoulli(p_steady) marginals — but consecutive epochs are
-    *correlated* (outages persist), exactly like real maintenance, so
-    request outcomes cluster in time even though long-run rates match
-    the analytic model.
+    By default system state evolves as independent two-state Markov
+    chains (up/down with the configured transition probabilities), which
+    converges to i.i.d. Bernoulli(p_steady) marginals — but consecutive
+    epochs are *correlated* (outages persist), exactly like real
+    maintenance, so request outcomes cluster in time even though
+    long-run rates match the analytic model.
+
+    ``failure_model`` replaces the Markov chain: a
+    :class:`~repro.chaos.FaultPlan` (``system.outage`` windows read as
+    epoch windows), any object with ``sample_failed_ids(n)`` (drawn
+    fresh each epoch — e.g. :class:`~repro.storage.failures.
+    CorrelatedFailureModel` for region-shared-fate outages) or
+    ``failed_at(epoch, n)``, or a plain ``callable(epoch, n)``.
+
+    ``step_hook(epoch, failed, ms)`` is called once per epoch after the
+    outage draw and before requests are served; returning a new
+    strictly decreasing ``ms`` tuple (same length) reconfigures the
+    object from this epoch on — the control-plane operator's seam.
+
+    ``record_trajectory`` appends one row per epoch to
+    ``stats.trajectory``.  The default call (no new arguments) is
+    byte-for-byte identical to the pre-hook behaviour: the RNG stream
+    and every statistic are untouched.
     """
     rng = np.random.default_rng(seed)
     up = np.ones(config.n, dtype=bool)
     stats = CampaignStats()
-    l = len(config.ms)
-    for _ in range(config.epochs):
-        go_down = up & (rng.random(config.n) < config.p_fail)
-        come_up = ~up & (rng.random(config.n) < config.p_repair)
-        up = (up & ~go_down) | come_up
-        failed = np.nonzero(~up)[0].tolist()
+    ms = tuple(config.ms)
+    errors = tuple(config.errors)
+    for epoch in range(config.epochs):
+        if failure_model is None:
+            go_down = up & (rng.random(config.n) < config.p_fail)
+            come_up = ~up & (rng.random(config.n) < config.p_repair)
+            up = (up & ~go_down) | come_up
+            failed = np.nonzero(~up)[0].tolist()
+        else:
+            failed = _failures_for_epoch(failure_model, epoch, config.n)
         stats.max_concurrent_failures = max(
             stats.max_concurrent_failures, len(failed)
         )
-        levels = recoverable_levels(list(config.ms), failed, config.n)
+        if step_hook is not None:
+            new_ms = step_hook(epoch, list(failed), ms)
+            if new_ms is not None:
+                new_ms = tuple(int(m) for m in new_ms)
+                if len(new_ms) != len(errors):
+                    raise ValueError(
+                        "step_hook must keep the level count unchanged"
+                    )
+                _check_ms(new_ms, config.n)
+                ms = new_ms
+        levels = recoverable_levels(list(ms), failed, config.n)
         got = len(levels)
+        err = 1.0 if got == 0 else errors[got - 1]
         for _ in range(config.requests_per_epoch):
             stats.requests += 1
             stats.levels_histogram[got] = stats.levels_histogram.get(got, 0) + 1
@@ -130,9 +248,19 @@ def run_campaign(config: CampaignConfig, *, seed: int = 0) -> CampaignStats:
                 stats.blackout += 1
                 stats.error_sum += 1.0
             else:
-                stats.error_sum += config.errors[got - 1]
-                if got == l:
+                stats.error_sum += errors[got - 1]
+                if got == len(ms):
                     stats.full_accuracy += 1
                 else:
                     stats.degraded += 1
+        if record_trajectory:
+            stats.trajectory.append(
+                {
+                    "epoch": epoch,
+                    "failed": len(failed),
+                    "levels": got,
+                    "ms": list(ms),
+                    "error": err,
+                }
+            )
     return stats

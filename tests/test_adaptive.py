@@ -150,3 +150,91 @@ class TestAdaptiveStrategy:
             charged_time=0.0, seed=3,
         )
         assert np.array_equal(a.x, b.x)
+
+
+class TestStalenessDecay:
+    """WAN telemetry goes stale: estimates must decay back toward the
+    prior as epochs pass without fresh observations (§4.3 extension)."""
+
+    def mk(self, tmp_path, horizon):
+        catalog = MetadataCatalog(tmp_path / "meta")
+        prior = paper_bandwidth_profile(16)
+        return catalog, BandwidthTracker(
+            catalog, prior, staleness_horizon=horizon
+        )
+
+    def test_fresh_observation_fully_trusted(self, tmp_path):
+        catalog, tracker = self.mk(tmp_path, 4.0)
+        try:
+            tracker.observe(0, 2e9, 1.0)
+            assert tracker.age(0) == 0.0
+            assert tracker.estimates()[0] == pytest.approx(2e9)
+        finally:
+            catalog.close()
+
+    def test_decay_is_monotone_toward_prior(self, tmp_path):
+        catalog, tracker = self.mk(tmp_path, 4.0)
+        try:
+            tracker.observe(0, 2e9, 1.0)  # well above the prior
+            prior = tracker.prior[0]
+            gaps = []
+            prev_gap = abs(tracker.estimates()[0] - prior)
+            for _ in range(12):
+                tracker.tick()
+                gap = abs(tracker.estimates()[0] - prior)
+                assert gap <= prev_gap + 1e-9, "decay must be monotone"
+                gaps.append(gap)
+                prev_gap = gap
+            # After 3 horizons the estimate is essentially the prior.
+            assert gaps[-1] < 0.05 * abs(2e9 - prior)
+        finally:
+            catalog.close()
+
+    def test_reobservation_resets_the_clock(self, tmp_path):
+        catalog, tracker = self.mk(tmp_path, 4.0)
+        try:
+            tracker.observe(0, 2e9, 1.0)
+            for _ in range(8):
+                tracker.tick()
+            decayed = tracker.estimates()[0]
+            tracker.observe(0, 2e9, 1.0)
+            assert tracker.age(0) == 0.0
+            refreshed = tracker.estimates()[0]
+            assert abs(refreshed - 2e9) < abs(decayed - 2e9)
+        finally:
+            catalog.close()
+
+    def test_never_observed_system_stays_at_prior(self, tmp_path):
+        catalog, tracker = self.mk(tmp_path, 4.0)
+        try:
+            for _ in range(10):
+                tracker.tick()
+            assert tracker.age(5) == 0.0  # no history: nothing is stale
+            assert np.array_equal(tracker.estimates(), tracker.prior)
+        finally:
+            catalog.close()
+
+    def test_no_horizon_means_no_decay(self, tmp_path):
+        catalog, tracker = self.mk(tmp_path, None)
+        try:
+            tracker.observe(0, 2e9, 1.0)
+            before = tracker.estimates()[0]
+            for _ in range(50):
+                tracker.tick()
+            assert tracker.estimates()[0] == before
+        finally:
+            catalog.close()
+
+    def test_validation(self, tmp_path):
+        catalog = MetadataCatalog(tmp_path / "meta")
+        try:
+            prior = paper_bandwidth_profile(16)
+            with pytest.raises(ValueError):
+                BandwidthTracker(catalog, prior, staleness_horizon=0.0)
+            with pytest.raises(ValueError):
+                BandwidthTracker(catalog, prior, staleness_horizon=-1.0)
+            tracker = BandwidthTracker(catalog, prior, staleness_horizon=2.0)
+            with pytest.raises(ValueError):
+                tracker.tick(-1.0)
+        finally:
+            catalog.close()
