@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-sanitized lint lint-full bench-lint chaos chaos-soak scrub-smoke scenarios bench bench-assert bench-smoke bench-refactor bench-procpipe examples tables figures all clean
+.PHONY: install test test-sanitized lint lint-full bench-lint chaos chaos-soak scrub-smoke serve-smoke scenarios bench bench-assert bench-smoke bench-refactor bench-procpipe examples tables figures all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,7 +15,7 @@ test:
 test-sanitized:
 	RAPIDS_THREAD_SANITIZER=1 $(PYTHON) -m pytest tests/
 
-# rapidslint: project-specific static analysis (rules RPD101-RPD116,
+# rapidslint: project-specific static analysis (rules RPD101-RPD117,
 # including the whole-program call-graph/CFG rules).  Fails on any
 # non-suppressed finding; suppressions need justifications.  `lint`
 # goes through the content-hash incremental cache
@@ -78,6 +78,22 @@ scrub-smoke:
 	rm -rf $(SCRUB_WS) $(SCRUB_WS)-field.npy $(SCRUB_WS)-out.npy \
 		$(SCRUB_WS)-plan.json
 	@echo "scrub-smoke: damaged, healed, verified clean"
+
+# Archive-service smoke: a seeded hog-vs-steady drive round with one
+# backend outage (exit 4 = cross-tenant starvation, 5 = unclean
+# shutdown), one threaded round against the started worker pool, then
+# the service benchmark in smoke mode (replay-verified per mix; writes
+# BENCH_service.json).  RAPIDS_CHAOS_SEED (default 7) seeds the round.
+serve-smoke: export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+serve-smoke:
+	$(PYTHON) -m repro.cli serve --drive --mix hog --outage 1 \
+		--requests 60 --seed $${RAPIDS_CHAOS_SEED:-7} \
+		--emit-report serve-smoke-report.json
+	$(PYTHON) -m repro.cli serve --drive --threaded --mix balanced \
+		--requests 40 --seed $${RAPIDS_CHAOS_SEED:-7}
+	$(PYTHON) benchmarks/bench_service.py --smoke \
+		--seed $${RAPIDS_CHAOS_SEED:-7}
+	@echo "serve-smoke: no starvation, clean shutdown, replay verified"
 
 # Online-reconfiguration scenario suite at reduced scale: the four
 # seeded chaos campaigns (region loss, bandwidth drift, flash crowd,

@@ -33,6 +33,11 @@ RPD112    procpool-callable        lambdas / nested functions / bound
                                    methods submitted to a
                                    ``ProcessPoolExecutor`` (not picklable
                                    by reference; break under ``spawn``)
+RPD117    service-blocking-no-     unbounded blocking calls (queue get,
+          deadline                 ``.wait()``, future ``.result()``,
+                                   lock ``.acquire()``, fsync) inside
+                                   ``repro.service`` handlers that never
+                                   consult the request deadline
 ========  =======================  ========================================
 
 (``RPD100`` is reserved by the framework for malformed / unused
@@ -60,6 +65,7 @@ __all__ = [
     "UnlockedGlobalCacheRule",
     "UnverifiedPayloadRule",
     "ProcessPoolCallableRule",
+    "ServiceBlockingNoDeadlineRule",
 ]
 
 #: Public callables of :mod:`repro.ec.gf256` that return field elements.
@@ -1101,3 +1107,90 @@ class ProcessPoolCallableRule(Rule):
             if root == "self":
                 return f"bound method 'self.{target.attr}'"
         return None
+
+
+@register
+class ServiceBlockingNoDeadlineRule(Rule):
+    """Unbounded blocking calls in service handlers that ignore deadlines.
+
+    The archive service's contract is that every request carries a
+    deadline and every stage boundary honours it: a handler that parks
+    on ``queue.get()``, ``future.result()``, ``event.wait()``,
+    ``lock.acquire()`` or an fsync with no bound can absorb a request
+    past its deadline — the caller sees neither a result nor a typed
+    rejection, which is exactly the hang the service exists to prevent.
+    A blocking call is fine when it passes an explicit ``timeout=`` (the
+    bound usually derives from ``deadline.remaining()``), or when its
+    enclosing function consults the request deadline and so owns the
+    budget explicitly.
+    """
+
+    rule_id = "RPD117"
+    name = "service-blocking-no-deadline"
+    severity = Severity.WARNING
+    description = (
+        "unbounded blocking call in a repro.service handler that never "
+        "consults the request deadline"
+    )
+    rationale = (
+        "a handler parked without a bound absorbs requests past their "
+        "deadline with neither a result nor a typed rejection"
+    )
+
+    #: Attribute calls that block indefinitely by default.  ``get`` /
+    #: ``wait`` / ``result`` / ``acquire`` only count with *zero*
+    #: positional arguments (``d.get(key)`` is a dict lookup,
+    #: ``ev.wait(5)`` is already bounded); ``fsync`` always blocks on
+    #: durability regardless of its fd argument.
+    _BLOCKING = {"get", "wait", "result", "acquire"}
+    _ALWAYS_BLOCKING = {"fsync"}
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.in_package("/service/"):
+            return
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if self._consults_deadline(fn):
+                continue
+            for node in _walk_scope(fn):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                ):
+                    continue
+                attr = node.func.attr
+                if attr in self._ALWAYS_BLOCKING:
+                    blocking = True
+                elif attr in self._BLOCKING:
+                    blocking = not node.args
+                else:
+                    continue
+                if not blocking or self._has_timeout(node):
+                    continue
+                yield self.finding(
+                    module, node,
+                    f"'.{attr}()' can block past the request deadline — "
+                    "pass timeout= (e.g. from deadline.remaining()) or "
+                    f"consult the deadline in '{fn.name}'",
+                )
+
+    @staticmethod
+    def _has_timeout(call: ast.Call) -> bool:
+        return any(kw.arg == "timeout" for kw in call.keywords)
+
+    @staticmethod
+    def _consults_deadline(fn: ast.AST) -> bool:
+        """Does this function's own scope touch the request deadline —
+        a ``deadline``-named binding or a ``.remaining()``/``.expired``
+        consultation?"""
+        for node in _walk_scope(fn):
+            if isinstance(node, ast.Attribute):
+                if node.attr in ("remaining", "expired"):
+                    return True
+                if "deadline" in node.attr.lower():
+                    return True
+            elif isinstance(node, ast.Name):
+                if "deadline" in node.id.lower():
+                    return True
+        return False

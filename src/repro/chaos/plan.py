@@ -42,6 +42,9 @@ SITES = frozenset(
         "pipeline.restore",
         "streaming.index",
         "streaming.read",
+        "service.admit",
+        "service.dequeue",
+        "service.journal",
     }
 )
 
@@ -72,6 +75,11 @@ _SITE_EFFECTS = {
     "filestore.write": {"error", "torn"},
     "storage.read": {"error", "corrupt", "truncate", "stall"},
     "filestore.read": {"error", "corrupt", "truncate", "stall"},
+    # Archive-service seams: admission shedding, dispatcher failures,
+    # and journal-write faults (the crash between journal and commit).
+    "service.admit": {"error"},
+    "service.dequeue": {"error"},
+    "service.journal": {"error"},
 }
 
 

@@ -12,6 +12,7 @@ Subcommands::
     rapids scrub                            verify a workspace at rest; repair
     rapids reconfigure                      warm re-solve + live migration
     rapids scenarios                        run the chaos-campaign scenario suite
+    rapids serve                            multi-tenant archive service / driver
 
 The CLI operates on a simple on-disk layout: ``<dir>/component-XX.bin``
 plus a ``manifest`` container holding the reconstruction metadata.
@@ -601,6 +602,172 @@ def _cmd_estimate_bandwidth(args) -> int:
     return 0
 
 
+def _serve_build_stack(td: Path, args):
+    """A fresh in-memory archive stack plus its service front end."""
+    import time as _time
+
+    from .core import RAPIDS
+    from .metadata import MetadataCatalog
+    from .refactor import Refactorer
+    from .service import ArchiveService, ManualClock, ServiceConfig
+    from .storage import StorageCluster
+    from .transfer import paper_bandwidth_profile
+
+    cluster = StorageCluster(paper_bandwidth_profile(args.systems))
+    catalog = MetadataCatalog(td / "meta")
+    rapids = RAPIDS(cluster, catalog, refactorer=Refactorer(4), omega=0.3)
+    clk = ManualClock()
+    cfg = ServiceConfig(
+        queue_capacity=args.queue_capacity,
+        rate=args.rate,
+        burst=args.rate,
+        workers=args.workers,
+        clock=_time.monotonic if args.threaded else clk,
+    )
+    return rapids, ArchiveService(rapids, config=cfg), clk
+
+
+def _cmd_serve(args) -> int:
+    """Run the archive service: idle threaded mode, or a drive round.
+
+    Exit codes: 0 clean; 1 setup error; 4 cross-tenant starvation (a
+    tenant had admitted requests but completed none); 5 unclean
+    shutdown (requests left queued or unresolved after the drain).
+    """
+    import tempfile
+
+    from .chaos import FaultInjector, FaultPlan
+    from .service import (
+        STANDARD_MIXES,
+        ServiceRequest,
+        drive_open_loop,
+        drive_threaded,
+        make_schedule,
+        synthetic_field,
+    )
+
+    mix = STANDARD_MIXES.get(args.mix)
+    if mix is None:
+        print(f"error: unknown mix {args.mix!r} "
+              f"(have: {', '.join(sorted(STANDARD_MIXES))})", file=sys.stderr)
+        return 1
+
+    with tempfile.TemporaryDirectory(prefix="rapids-serve-") as td_:
+        rapids, svc, clk = _serve_build_stack(Path(td_), args)
+
+        # Seed a couple of objects for the restore side of the mix.
+        objects = []
+        for i in range(2):
+            name = f"serve/base/{i}"
+            ticket = svc.submit(ServiceRequest(
+                tenant="setup", op="prepare", name=name,
+                data=synthetic_field(args.seed + i, 4096),
+            ))
+            svc.pump()
+            res = ticket.result(timeout=0)
+            if res.status != "ok":
+                print(f"error: setup prepare failed: {res.error}",
+                      file=sys.stderr)
+                return 1
+            objects.append(name)
+
+        if args.outage:
+            plan = FaultPlan.outages(args.outage, seed=args.seed)
+            injector = FaultInjector(plan)
+            svc.attach_injector(injector)
+            rapids.attach_injector(injector)
+            injector.apply_outages(rapids.cluster)
+
+        if not args.drive:
+            # Long-lived mode: threaded workers until interrupted.
+            svc.start()
+            print(f"serving (workers={svc.config.workers}, "
+                  f"queue={svc.config.queue_capacity}); Ctrl-C to stop")
+            try:
+                while True:
+                    import time as _time
+
+                    _time.sleep(1.0)
+            except KeyboardInterrupt:
+                pass
+            svc.stop()
+            return 0
+
+        schedule = make_schedule(
+            mix, objects=objects, count=args.requests, seed=args.seed
+        )
+        clean = True
+        if args.threaded:
+            svc.start()
+            report = drive_threaded(
+                svc, schedule, mix_name=mix.name, seed=args.seed,
+                time_scale=args.time_scale,
+            )
+            try:
+                svc.stop()
+            except (RuntimeError, OSError, TimeoutError) as exc:
+                print(f"unclean shutdown: {exc}", file=sys.stderr)
+                clean = False
+        else:
+            report = drive_open_loop(
+                svc, clk, schedule, mix_name=mix.name, seed=args.seed,
+                pump_interval=args.pump_interval,
+            )
+        if svc.queue.depth() != 0 or any(
+            not t.done for t in svc._tickets.values()
+        ):
+            clean = False
+
+        summary = report.summary()
+        arrivals: dict[str, int] = {}
+        for item in schedule:
+            arrivals[item.tenant] = arrivals.get(item.tenant, 0) + 1
+        shed_by_tenant: dict[str, int] = {}
+        for tenant, _reason, _after in report.sheds:
+            shed_by_tenant[tenant] = shed_by_tenant.get(tenant, 0) + 1
+        starved = sorted(
+            t for t, n in arrivals.items()
+            if n - shed_by_tenant.get(t, 0) > 0
+            and summary["by_tenant"].get(t, {}).get("completed", 0) == 0
+        )
+
+        out = {
+            "summary": summary,
+            "metrics": svc.snapshot(),
+            "outages": sorted(args.outage or []),
+            "starved_tenants": starved,
+            "clean_shutdown": clean,
+        }
+        if args.emit_report:
+            Path(args.emit_report).write_text(
+                json.dumps(out, indent=2, sort_keys=True)
+            )
+        if args.json:
+            print(json.dumps(out, indent=2, sort_keys=True))
+        else:
+            print(f"mix {mix.name!r}, seed {args.seed}: "
+                  f"{summary['completed']} completed, "
+                  f"{summary['shed']} shed, "
+                  f"{summary['ops_per_s']:.1f} ops/s, "
+                  f"p50 {summary['latency_p50_s'] * 1e3:.1f} ms, "
+                  f"p99 {summary['latency_p99_s'] * 1e3:.1f} ms")
+            for tenant in sorted(summary["by_tenant"]):
+                bt = summary["by_tenant"][tenant]
+                print(f"  {tenant}: {bt['completed']} done, "
+                      f"p99 {bt['p99_s'] * 1e3:.1f} ms")
+            if args.outage:
+                print(f"  outages injected: {sorted(args.outage)}")
+        if starved:
+            print(f"STARVATION: tenants {starved} had admitted requests "
+                  "but completed none", file=sys.stderr)
+            return 4
+        if not clean:
+            print("UNCLEAN SHUTDOWN: requests left queued or unresolved",
+                  file=sys.stderr)
+            return 5
+        return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="rapids",
@@ -757,6 +924,44 @@ def build_parser() -> argparse.ArgumentParser:
     sn.add_argument("--json", action="store_true",
                     help="print the trajectory JSON to stdout")
     sn.set_defaults(func=_cmd_scenarios)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the multi-tenant archive service (idle threaded mode, "
+             "or --drive: a seeded mixed-tenant traffic round with "
+             "starvation/shutdown checks)",
+    )
+    sv.add_argument("--drive", action="store_true",
+                    help="drive a synthetic open-loop traffic round and "
+                         "exit (4 = cross-tenant starvation, 5 = unclean "
+                         "shutdown)")
+    sv.add_argument("--mix", default="balanced",
+                    help="tenant mix name: balanced | hog")
+    sv.add_argument("--requests", type=int, default=60,
+                    help="arrivals to schedule in drive mode")
+    sv.add_argument("--seed", type=int, default=7)
+    sv.add_argument("--systems", type=int, default=8)
+    sv.add_argument("--outage", type=int, action="append", default=None,
+                    metavar="SID",
+                    help="inject an outage of this backend system id "
+                         "(repeatable)")
+    sv.add_argument("--threaded", action="store_true",
+                    help="drive the started worker threads on the wall "
+                         "clock instead of the deterministic inline pump")
+    sv.add_argument("--time-scale", type=float, default=0.1,
+                    help="threaded mode: scale scheduled arrival times")
+    sv.add_argument("--pump-interval", type=int, default=3,
+                    help="deterministic mode: arrivals per executed "
+                         "request (higher = more overload)")
+    sv.add_argument("--queue-capacity", type=int, default=32)
+    sv.add_argument("--rate", type=float, default=10_000.0,
+                    help="per-tenant token-bucket rate (and burst)")
+    sv.add_argument("--workers", type=int, default=2)
+    sv.add_argument("--emit-report", default=None,
+                    help="write the drive report JSON to this file")
+    sv.add_argument("--json", action="store_true",
+                    help="print the drive report as JSON")
+    sv.set_defaults(func=_cmd_serve)
 
     b = sub.add_parser("estimate-bandwidth",
                        help="synthesize Globus logs and estimate bandwidths")

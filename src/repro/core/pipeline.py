@@ -175,11 +175,20 @@ class RAPIDS:
         #: Per-fetch retry policy used by restoration; base=0 keeps the
         #: retries immediate (there is no simulated clock on this path).
         self.retry_policy = retry_policy or RetryPolicy(max_attempts=3, base=0.0)
+        #: Retry policy for WAN distribution through a transfer service
+        #: (simulated clock; no backoff keeps the latency model pure).
+        self.distribution_retry = RetryPolicy(max_attempts=32, base=0.0)
         #: Durability ledger (see :mod:`repro.healing`): ``prepare``
         #: records each level's expected fragment set; ``restore``
         #: consults the scrubbed headroom; the scrubber and repair
         #: engine keep it honest.
         self.ledger = DurabilityLedger(catalog)
+        #: Optional per-fetch observability hook: called with
+        #: ``(system_id, RetryOutcome)`` after every checked fragment
+        #: fetch.  The archive service wires this to its per-system
+        #: circuit breakers — retry exhaustion trips a breaker, a clean
+        #: fetch closes it.
+        self.fetch_observer = None
         self.injector = None
         if injector is not None:
             self.attach_injector(injector)
@@ -445,37 +454,27 @@ class RAPIDS:
 
     def _distribute_via_service(self, name, reqs, service) -> tuple[float, float]:
         """Push one bundled task per destination through a GlobusService,
-        retrying failures until everything is delivered (§4.2)."""
-        from ..transfer.globus import TaskStatus
+        retrying failures under the shared retry policy until everything
+        is delivered (§4.2)."""
+        from ..transfer.globus import deliver_all
 
-        start_clock = service.clock
-        #: local source endpoint: model the user site as destination 0's
-        #: peer — the service only needs *a* source id; contention among
-        #: these submissions models the shared uplink.
+        # Local source endpoint: model the user site as destination 0's
+        # peer — the service only needs *a* source id; contention among
+        # these submissions models the shared uplink.
         source = 0
-        pending = {
-            service.submit(source, r.system_id, r.nbytes, label=f"{name}->{r.system_id}"): r
-            for r in reqs
-        }
-        total = sum(r.nbytes for r in reqs)
-        for _ in range(32):
-            service.wait_all()
-            retry = {}
-            for tid, r in pending.items():
-                if service.status(tid) is TaskStatus.FAILED:
-                    retry[
-                        service.submit(
-                            source, r.system_id, r.nbytes,
-                            label=f"{name}->{r.system_id} retry",
-                        )
-                    ] = r
-                    total += r.nbytes
-            pending = retry
-            if not pending:
-                break
-        else:
-            raise RuntimeError(f"distribution of {name!r} kept failing")
-        return service.clock - start_clock, total
+        try:
+            return deliver_all(
+                service,
+                [
+                    (source, r.system_id, r.nbytes, f"{name}->{r.system_id}")
+                    for r in reqs
+                ],
+                policy=self.distribution_retry,
+            )
+        except RuntimeError as exc:
+            raise RuntimeError(
+                f"distribution of {name!r} kept failing: {exc}"
+            ) from exc
 
     def _optimize_ft(
         self, sizes: list[int], errors: list[float], original_size: int
@@ -539,6 +538,7 @@ class RAPIDS:
         seed: int | None = 0,
         target_error: float | None = None,
         degrade: bool = True,
+        avoid_systems=(),
         parallelism: str | None = None,
         processes: int | None = None,
         max_inflight: int | None = None,
@@ -554,6 +554,13 @@ class RAPIDS:
         level prefix whose recorded error meets the target is gathered,
         saving the (dominant) lower-level transfer bytes when the
         analysis tolerates a looser accuracy.
+
+        ``avoid_systems`` treats the listed system ids as failed for
+        gathering purposes — the archive service passes its open
+        circuit breakers here so restores stop rediscovering a down
+        backend.  Advisory, not a fence: the spare-fragment path may
+        still touch an avoided system when nothing else can serve a
+        stripe (availability wins).
 
         ``degrade`` (the default) turns fault-driven failures into
         graceful degradation: when faults exceed a level's tolerance
@@ -610,6 +617,8 @@ class RAPIDS:
                 if not degrade:
                     raise
         failed = self.cluster.failed_ids()
+        if avoid_systems:
+            failed = sorted(set(failed) | {int(s) for s in avoid_systems})
         n = self.cluster.n
 
         levels = recoverable_levels(rec.ft_config, failed, n)
@@ -917,6 +926,8 @@ class RAPIDS:
             return np.frombuffer(sf.payload, dtype=np.uint8)
 
         out = self.retry_policy.call(attempt, retry_on=_FETCH_ERRORS)
+        if self.fetch_observer is not None:
+            self.fetch_observer(i, out)
         if not out.ok:
             if isinstance(out.error, CorruptFragmentError):
                 crc_tally.append(i)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 import zlib
 from pathlib import Path
 
@@ -42,9 +43,10 @@ class CorruptionError(RuntimeError):
 class KVStore:
     """Durable embedded key-value store over a directory of segment files.
 
-    Keys and values are ``bytes``.  Not safe for concurrent writers; a
-    single RAPIDS metadata service owns the directory, as in the paper
-    (metadata is "only maintained on one system").
+    Keys and values are ``bytes``.  A single RAPIDS metadata service owns
+    the directory, as in the paper (metadata is "only maintained on one
+    system"); within that process an internal lock serialises operations,
+    so the archive service's worker threads may share one store.
     """
 
     def __init__(self, path: str | os.PathLike, *, segment_bytes: int = 4 * 2**20):
@@ -62,6 +64,11 @@ class KVStore:
         #: every append/read; ``torn`` write faults crash the store.
         self.injector = None
         self._crashed = False
+        # Serialises appends/reads across threads (the archive service
+        # runs concurrent pipeline executions over one catalog).  Batch
+        # readers (scan/compact/snapshot) use _get_locked inside one
+        # acquisition; the lock is never taken re-entrantly.
+        self._lock = threading.Lock()
         self._recover()
 
     def attach_injector(self, injector) -> None:
@@ -209,10 +216,17 @@ class KVStore:
         self._check_key(key)
         if not isinstance(value, (bytes, bytearray)):
             raise TypeError("value must be bytes")
-        self._index[key] = self._append(bytes(key), bytes(value), False)
+        with self._lock:
+            self._index[key] = self._append(bytes(key), bytes(value), False)
 
     def get(self, key: bytes, default: bytes | None = None) -> bytes | None:
         """Fetch the latest value for ``key`` or ``default`` if absent."""
+        with self._lock:
+            return self._get_locked(key, default)
+
+    def _get_locked(self, key: bytes, default: bytes | None) -> bytes | None:
+        # Lock held by the caller (scan/compact/snapshot read batches
+        # under one acquisition).
         self._check_key(key)
         self._check_live()
         if self.injector is not None:
@@ -235,19 +249,22 @@ class KVStore:
         """Remove ``key``; returns whether it existed."""
         self._check_key(key)
         key = bytes(key)
-        if key not in self._index:
-            return False
-        self._append(key, b"", True)
-        del self._index[key]
-        return True
+        with self._lock:
+            if key not in self._index:
+                return False
+            self._append(key, b"", True)
+            del self._index[key]
+            return True
 
     def scan(self, prefix: bytes = b"") -> list[tuple[bytes, bytes]]:
         """All live (key, value) pairs with the given prefix, key-sorted."""
-        keys = sorted(k for k in self._index if k.startswith(prefix))
-        return [(k, self.get(k)) for k in keys]
+        with self._lock:
+            keys = sorted(k for k in self._index if k.startswith(prefix))
+            return [(k, self._get_locked(k, None)) for k in keys]
 
     def keys(self, prefix: bytes = b"") -> list[bytes]:
-        return sorted(k for k in self._index if k.startswith(prefix))
+        with self._lock:
+            return sorted(k for k in self._index if k.startswith(prefix))
 
     def __contains__(self, key: bytes) -> bool:
         return bytes(key) in self._index
@@ -257,10 +274,14 @@ class KVStore:
 
     def compact(self) -> int:
         """Rewrite live records into fresh segments; returns bytes reclaimed."""
+        with self._lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> int:
         before = sum(
             self._segment_path(i).stat().st_size for i in self._segment_ids()
         )
-        live = [(k, self.get(k)) for k in sorted(self._index)]
+        live = [(k, self._get_locked(k, None)) for k in sorted(self._index)]
         old_ids = self._segment_ids()
         new_start = (old_ids[-1] + 1) if old_ids else 0
         # Write the live set into a new segment chain first, then drop old.
@@ -299,7 +320,8 @@ class KVStore:
         dest = Path(dest)
         if dest.exists() and any(dest.iterdir()):
             raise FileExistsError(f"snapshot destination not empty: {dest}")
-        live = [(k, self.get(k)) for k in sorted(self._index)]
+        with self._lock:
+            live = [(k, self._get_locked(k, None)) for k in sorted(self._index)]
         total = sum(len(k) + len(v) for k, v in live) + 64 * len(live) + 1024
         with KVStore(dest, segment_bytes=max(total, 4096)) as snap:
             for k, v in live:
@@ -317,12 +339,13 @@ class KVStore:
         return count
 
     def close(self) -> None:
-        if self._active is not None:
-            self._active.close()
-            self._active = None
-        for fh in self._handles.values():
-            fh.close()
-        self._handles.clear()
+        with self._lock:
+            if self._active is not None:
+                self._active.close()
+                self._active = None
+            for fh in self._handles.values():
+                fh.close()
+            self._handles.clear()
 
     def __enter__(self) -> "KVStore":
         return self

@@ -1,0 +1,561 @@
+"""The archive service: a multi-tenant front end over the RAPIDS pipeline.
+
+:class:`ArchiveService` turns the one-shot library into a long-running
+request server.  A request's path::
+
+    submit ──► admission (token bucket → bounded queue, shed on overflow)
+           ──► dequeue   (round-robin across tenants, bulkhead slots)
+           ──► journal   (idempotency begin, cached replay short-circuit)
+           ──► pipeline  (RAPIDS.prepare / RAPIDS.restore, breaker-aware)
+           ──► journal commit ──► ticket resolution
+
+Robustness properties, each deterministically provable under a seeded
+:class:`~repro.chaos.FaultPlan` (sites ``service.admit`` /
+``service.dequeue`` / ``service.journal``):
+
+* overload sheds — :meth:`submit` raises
+  :class:`~repro.service.request.ServiceRejected` with a retry-after
+  hint rather than buffering without bound;
+* bulkheads isolate — a tenant saturating its worker-slot quota never
+  blocks another tenant's admitted requests;
+* keyed prepares are exactly-once — the durable journal plus in-flight
+  coalescing mean duplicates mutate the workspace once and observe one
+  result;
+* deadlines propagate — every stage boundary consults the request
+  deadline, and an over-deadline restore degrades to the affordable
+  level prefix via ``restore(degrade=True)`` instead of failing;
+* backend outages trip per-system circuit breakers fed by
+  ``RetryPolicy`` exhaustion, steering later restores away.
+
+The service runs in two modes: :meth:`start` spawns real worker threads
+(the benchmark / ``rapids serve`` mode) while :meth:`pump` executes
+queued requests inline on the caller's thread — the deterministic mode
+chaos campaigns and property tests replay byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..chaos.injector import InjectedFault
+from .admission import AdmissionQueue, Bulkhead, TokenBucket
+from .breaker import BreakerBoard
+from .journal import IdempotencyConflict, RequestJournal, request_fingerprint
+from .request import ServiceRejected, ServiceRequest, ServiceResult
+
+__all__ = ["ServiceConfig", "Ticket", "ArchiveService"]
+
+#: Failure classes the executor converts into a typed ``failed`` result
+#: instead of letting them kill a worker.  Mirrors the pipeline's
+#: degradable set; anything outside it is a programming error and
+#: propagates.
+_SERVABLE_ERRORS = (
+    InjectedFault,
+    IdempotencyConflict,
+    KeyError,
+    ValueError,
+    OSError,
+    RuntimeError,
+)
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs for one :class:`ArchiveService`.
+
+    Defaults suit tests and the smoke benchmark; ``rapids serve`` maps
+    its flags straight onto these fields.
+    """
+
+    #: Global bound on queued (admitted but not yet executing) requests.
+    queue_capacity: int = 64
+    #: Default per-tenant token rate (requests/second) and burst size.
+    rate: float = 50.0
+    burst: float = 20.0
+    #: Per-tenant ``(rate, burst)`` overrides.
+    tenant_rates: dict = field(default_factory=dict)
+    #: Default per-tenant worker-slot quota and per-tenant overrides.
+    bulkhead_slots: int = 2
+    tenant_slots: dict = field(default_factory=dict)
+    #: Worker threads spawned by :meth:`ArchiveService.start`.
+    workers: int = 2
+    #: Deadline applied to requests that carry none (``None`` = unbounded).
+    default_deadline: float | None = None
+    #: Fraction of the remaining deadline budgeted for transfer when
+    #: picking the affordable level prefix of a restore.
+    deadline_safety: float = 0.8
+    #: Retry-after hint attached to shed requests, in service-clock
+    #: seconds; queue pressure scales it (deeper queue → longer hint).
+    shed_retry_after: float = 0.25
+    #: Circuit-breaker trip threshold and open→half-open decay.
+    breaker_threshold: int = 3
+    breaker_reset: float = 30.0
+    #: How long an idle worker waits on the queue per loop iteration.
+    poll_interval: float = 0.05
+    #: The service clock; inject a ManualClock for deterministic runs.
+    clock: object = time.monotonic
+
+
+class Ticket:
+    """The caller's handle on a submitted request — a minimal future.
+
+    Duplicate in-flight submissions with the same idempotency key
+    coalesce onto one ticket; every holder observes the same
+    :class:`~repro.service.request.ServiceResult`.
+    """
+
+    __slots__ = ("request", "coalesced", "_event", "_result")
+
+    def __init__(self, request: ServiceRequest):
+        self.request = request
+        #: How many duplicate submissions were folded onto this ticket.
+        self.coalesced = 0
+        self._event = threading.Event()
+        self._result: ServiceResult | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def resolve(self, result: ServiceResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def result(self, timeout: float | None = None) -> ServiceResult:
+        """The request's result; blocks up to ``timeout`` seconds.
+
+        In :meth:`ArchiveService.pump` mode tickets resolve before
+        :meth:`~ArchiveService.submit` returns control, so ``timeout=0``
+        suffices; threaded callers size the timeout off their deadline.
+        """
+        if not self._event.wait(timeout=timeout):
+            raise TimeoutError(
+                f"request {self.request.request_id} still pending"
+            )
+        assert self._result is not None
+        return self._result
+
+
+def _payload_digest(data) -> str:
+    """Stable digest of a prepare payload (array bytes or source path)."""
+    if data is None:
+        return "none"
+    if isinstance(data, (str, bytes)):
+        raw = data if isinstance(data, bytes) else data.encode()
+        return hashlib.sha256(b"path|" + raw).hexdigest()[:32]
+    try:
+        import numpy as np
+
+        arr = np.ascontiguousarray(data)
+        h = hashlib.sha256()
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+        return h.hexdigest()[:32]
+    except (TypeError, ValueError):
+        return hashlib.sha256(repr(data).encode()).hexdigest()[:32]
+
+
+class ArchiveService:
+    """Multi-tenant admission, execution, and journaling over ``RAPIDS``.
+
+    Parameters
+    ----------
+    rapids:
+        The pipeline instance to serve (its catalog's KV store also
+        hosts the request journal).
+    config:
+        A :class:`ServiceConfig`; defaults are test-sized.
+    injector:
+        Optional chaos injector consulted at the service's own seams
+        (``service.admit`` / ``service.dequeue`` / ``service.journal``)
+        in addition to whatever is attached to the pipeline beneath.
+    """
+
+    def __init__(self, rapids, *, config: ServiceConfig | None = None,
+                 injector=None):
+        self.rapids = rapids
+        self.config = config or ServiceConfig()
+        self.clock = self.config.clock
+        self.injector = injector
+        self.queue = AdmissionQueue(self.config.queue_capacity)
+        self.bulkhead = Bulkhead(
+            self.config.bulkhead_slots,
+            quotas=self.config.tenant_slots,
+            on_release=self.queue.notify,
+        )
+        self.journal = RequestJournal(
+            rapids.catalog.store, injector=injector
+        )
+        self.breakers = BreakerBoard(
+            threshold=self.config.breaker_threshold,
+            reset_after=self.config.breaker_reset,
+            clock=self.clock,
+        )
+        # Feed the breakers from the pipeline's per-fetch retry outcomes.
+        rapids.fetch_observer = self._observe_fetch
+        self._buckets: dict[str, TokenBucket] = {}
+        self._inflight: dict[tuple[str, str], Ticket] = {}
+        #: request_id -> Ticket for queued-but-unresolved requests.
+        self._tickets: dict[str, Ticket] = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._threads: list[threading.Thread] = []
+        self._stopping = threading.Event()
+        self.metrics: dict[str, object] = {
+            "submitted": 0,
+            "completed": 0,
+            "shed": {},            # reason -> count
+            "coalesced": 0,
+            "by_status": {},       # status -> count
+            "by_tenant": {},       # tenant -> completed count
+        }
+
+    def attach_injector(self, injector) -> None:
+        self.injector = injector
+        self.journal.attach_injector(injector)
+
+    # -- admission (caller thread) -----------------------------------------
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        with self._lock:
+            b = self._buckets.get(tenant)
+            if b is None:
+                rate, burst = self.config.tenant_rates.get(
+                    tenant, (self.config.rate, self.config.burst)
+                )
+                b = self._buckets[tenant] = TokenBucket(
+                    rate, burst, clock=self.clock
+                )
+            return b
+
+    def _shed_hint(self) -> float:
+        depth = self.queue.depth()
+        scale = 1.0 + depth / max(1, self.config.queue_capacity)
+        return self.config.shed_retry_after * scale
+
+    def _shed(self, reason: str, tenant: str, retry_after: float):
+        with self._lock:
+            shed = self.metrics["shed"]
+            shed[reason] = shed.get(reason, 0) + 1
+        return ServiceRejected(reason, retry_after=retry_after, tenant=tenant)
+
+    def submit(self, request: ServiceRequest) -> Ticket:
+        """Admit a request; returns its :class:`Ticket`.
+
+        Raises :class:`~repro.service.request.ServiceRejected` when the
+        request is shed — rate limit exceeded, queue full, admission
+        fault, or shutdown — always promptly, never by blocking.
+        """
+        with self._lock:
+            self.metrics["submitted"] += 1
+            if not request.request_id:
+                request.request_id = f"req-{next(self._ids):06d}"
+        request.submitted_at = self.clock()
+        if request.deadline is None and self.config.default_deadline:
+            from .request import Deadline
+
+            request.deadline = Deadline(
+                self.config.default_deadline, clock=self.clock
+            )
+
+        if self.injector is not None:
+            try:
+                self.injector.check(
+                    "service.admit", tenant=request.tenant, op=request.op
+                )
+            except InjectedFault:
+                raise self._shed(
+                    "admit-fault", request.tenant, self._shed_hint()
+                ) from None
+
+        wait = self._bucket(request.tenant).try_acquire()
+        if wait > 0:
+            raise self._shed("rate-limited", request.tenant, wait)
+
+        # In-flight duplicates coalesce onto the live ticket *before*
+        # consuming queue capacity.
+        key = request.idempotency_key
+        if key is not None:
+            ik = (request.tenant, key)
+            with self._lock:
+                live = self._inflight.get(ik)
+                if live is not None and not live.done:
+                    live.coalesced += 1
+                    self.metrics["coalesced"] += 1
+                    return live
+
+        ticket = Ticket(request)
+        if key is not None:
+            with self._lock:
+                self._inflight[(request.tenant, key)] = ticket
+        try:
+            self.queue.offer(request, retry_after=self._shed_hint())
+        except ServiceRejected as exc:
+            if key is not None:
+                with self._lock:
+                    self._inflight.pop((request.tenant, key), None)
+            raise self._shed(exc.reason, request.tenant, exc.retry_after)
+        with self._lock:
+            self._tickets[request.request_id] = ticket
+        return ticket
+
+    # -- execution ----------------------------------------------------------
+
+    def pump(self, max_requests: int | None = None) -> int:
+        """Execute queued requests inline until the queue drains (or
+        ``max_requests`` ran); returns how many executed.  This is the
+        deterministic single-threaded mode: the submit order plus the
+        round-robin dequeue fully determine the execution sequence.
+        """
+        done = 0
+        while max_requests is None or done < max_requests:
+            req = self.queue.take(self.bulkhead, timeout=0.0)
+            if req is None:
+                break
+            try:
+                self._run_one(req)
+            finally:
+                self.bulkhead.release(req.tenant)
+            done += 1
+        return done
+
+    def start(self, workers: int | None = None) -> None:
+        """Spawn the worker threads (idempotent)."""
+        if self._threads:
+            return
+        self._stopping.clear()
+        n = workers if workers is not None else self.config.workers
+        for i in range(n):
+            t = threading.Thread(
+                target=self._worker_loop, name=f"archive-worker-{i}",
+                daemon=True,
+            )
+            t.start()
+            self._threads.append(t)
+
+    def stop(self, *, drain: bool = True) -> None:
+        """Shut down: close admission, optionally drain, join workers."""
+        self.queue.close()
+        if not drain:
+            self._stopping.set()
+        for t in self._threads:
+            t.join()
+        self._threads.clear()
+        self._stopping.set()
+        # Anything still queued after a no-drain stop resolves as shed.
+        while True:
+            req = self.queue.take(self.bulkhead, timeout=0.0)
+            if req is None:
+                break
+            self.bulkhead.release(req.tenant)
+            self._resolve(req, ServiceResult(
+                request_id=req.request_id, tenant=req.tenant, op=req.op,
+                name=req.name, status="failed", error="service stopped",
+                deadline_met=False,
+            ))
+
+    def _worker_loop(self) -> None:
+        while True:
+            if self._stopping.is_set():
+                return
+            req = self.queue.take(
+                self.bulkhead, timeout=self.config.poll_interval
+            )
+            if req is None:
+                if self.queue.closed and self.queue.depth() == 0:
+                    return
+                continue
+            try:
+                self._run_one(req)
+            finally:
+                self.bulkhead.release(req.tenant)
+
+    # -- the handler --------------------------------------------------------
+
+    def _resolve(self, req: ServiceRequest, result: ServiceResult) -> None:
+        with self._lock:
+            ticket = self._tickets.pop(req.request_id, None)
+            if req.idempotency_key is not None:
+                self._inflight.pop((req.tenant, req.idempotency_key), None)
+            self.metrics["completed"] += 1
+            by_status = self.metrics["by_status"]
+            by_status[result.status] = by_status.get(result.status, 0) + 1
+            by_tenant = self.metrics["by_tenant"]
+            by_tenant[req.tenant] = by_tenant.get(req.tenant, 0) + 1
+        if ticket is not None:
+            ticket.resolve(result)
+
+    def _run_one(self, req: ServiceRequest) -> ServiceResult:
+        started = self.clock()
+        queue_wait = max(0.0, started - req.submitted_at)
+
+        def finish(result: ServiceResult) -> ServiceResult:
+            result.queue_wait = queue_wait
+            result.service_time = max(0.0, self.clock() - started)
+            if req.deadline is not None and req.deadline.expired:
+                result.deadline_met = False
+            self._resolve(req, result)
+            return result
+
+        base = dict(request_id=req.request_id, tenant=req.tenant,
+                    op=req.op, name=req.name)
+        if self.injector is not None:
+            try:
+                self.injector.check(
+                    "service.dequeue", tenant=req.tenant, op=req.op
+                )
+            except InjectedFault as exc:
+                return finish(ServiceResult(
+                    status="failed", error=repr(exc), **base
+                ))
+        # Stage boundary: a request whose deadline lapsed in the queue is
+        # answered typed, without burning a pipeline run.
+        if req.deadline is not None and req.deadline.expired:
+            return finish(ServiceResult(status="deadline", **base))
+        try:
+            if req.op == "prepare":
+                return finish(self._run_prepare(req, base))
+            return finish(self._run_restore(req, base))
+        except _SERVABLE_ERRORS as exc:
+            return finish(ServiceResult(
+                status="failed", error=repr(exc), **base
+            ))
+
+    def _run_prepare(self, req: ServiceRequest, base: dict) -> ServiceResult:
+        key = req.idempotency_key
+        fingerprint = None
+        if key is not None:
+            fingerprint = request_fingerprint(
+                req.op, req.name, _payload_digest(req.data)
+            )
+            prior = self.journal.begin(
+                req.tenant, key, op=req.op, name=req.name,
+                fingerprint=fingerprint,
+            )
+            if prior is not None and prior.state == "done":
+                # Exactly-once: the keyed request already committed —
+                # serve the journaled result, touch nothing.
+                return ServiceResult(
+                    status="cached", replayed=True,
+                    levels_used=int(prior.result.get("levels_used", 0)),
+                    achieved_error=prior.result.get("achieved_error"),
+                    extra=dict(prior.result), **base,
+                )
+        report = self.rapids.prepare(req.name, req.data)
+        result = ServiceResult(
+            status="ok",
+            levels_used=len(report.ft_config),
+            achieved_error=report.expected_error,
+            extra={"ft_config": list(report.ft_config)},
+            **base,
+        )
+        if key is not None:
+            self.journal.commit(
+                req.tenant, key, fingerprint=fingerprint, op=req.op,
+                name=req.name,
+                result={
+                    "levels_used": result.levels_used,
+                    "achieved_error": result.achieved_error,
+                    "ft_config": list(report.ft_config),
+                },
+            )
+        return result
+
+    def _affordable_levels(self, rec, remaining: float) -> int:
+        """Deepest level prefix whose modeled transfer fits the budget."""
+        bw = self.rapids.cluster.bandwidths
+        agg = float(sum(float(b) for b in bw)) or 1.0
+        budget = remaining * self.config.deadline_safety
+        total = 0.0
+        affordable = 0
+        for size in rec.level_sizes:
+            total += float(size)
+            if total / agg > budget:
+                break
+            affordable += 1
+        return affordable
+
+    def _run_restore(self, req: ServiceRequest, base: dict) -> ServiceResult:
+        rec = self.rapids.catalog.get_object(req.name)
+        n_levels = len(rec.level_errors)
+        target = req.target_error
+        wanted = n_levels
+        if target is not None:
+            wanted = next(
+                (j + 1 for j, e in enumerate(rec.level_errors) if e <= target),
+                n_levels,
+            )
+        deadline_limited = False
+        if req.deadline is not None:
+            affordable = self._affordable_levels(rec, req.deadline.remaining())
+            if affordable < wanted:
+                # Degrade to the affordable prefix instead of blowing
+                # the deadline: ask for the error the prefix delivers.
+                deadline_limited = True
+                wanted = max(affordable, 1)
+                target = rec.level_errors[wanted - 1]
+        avoid = self.breakers.avoid()
+        report = self.rapids.restore(
+            req.name,
+            strategy=req.strategy,
+            target_error=target,
+            degrade=True,
+            avoid_systems=avoid,
+            record_access=False,
+        )
+        status = "ok"
+        if (
+            deadline_limited
+            or report.degraded is not None
+            or report.levels_used < wanted
+        ):
+            status = "degraded"
+        extra: dict = {"wanted_levels": wanted}
+        if deadline_limited:
+            extra["deadline_limited"] = True
+        if avoid:
+            extra["avoided_systems"] = list(avoid)
+        if report.degraded is not None:
+            extra["failures"] = [
+                f"{f.stage}@{f.level}" for f in report.degraded.failures
+            ]
+        return ServiceResult(
+            status=status,
+            levels_used=report.levels_used,
+            achieved_error=report.achieved_error,
+            extra=extra,
+            **base,
+        )
+
+    # -- breaker feed -------------------------------------------------------
+
+    def _observe_fetch(self, system_id: int, outcome) -> None:
+        """Pipeline hook: per-fetch RetryPolicy outcomes feed breakers."""
+        if outcome.ok:
+            self.breakers.record_success(system_id)
+        else:
+            self.breakers.record_exhaustion(system_id)
+
+    # -- introspection ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Point-in-time service state for logs and the smoke driver."""
+        with self._lock:
+            m = {
+                "submitted": self.metrics["submitted"],
+                "completed": self.metrics["completed"],
+                "coalesced": self.metrics["coalesced"],
+                "shed": dict(self.metrics["shed"]),
+                "by_status": dict(self.metrics["by_status"]),
+                "by_tenant": dict(self.metrics["by_tenant"]),
+            }
+        m["queue_depth"] = self.queue.depth()
+        m["breakers"] = {
+            str(sid): state for sid, state in self.breakers.states().items()
+        }
+        return m

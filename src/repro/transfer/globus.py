@@ -21,7 +21,7 @@ from enum import Enum
 
 import numpy as np
 
-__all__ = ["TaskStatus", "GlobusTask", "GlobusService"]
+__all__ = ["TaskStatus", "GlobusTask", "GlobusService", "deliver_all"]
 
 
 class TaskStatus(Enum):
@@ -205,3 +205,65 @@ class GlobusService:
         self.events.append(
             f"t={task.completes_at:.1f} {task.status.value} {task.task_id}"
         )
+
+
+def deliver_all(
+    service: GlobusService,
+    submissions,
+    *,
+    policy=None,
+) -> tuple[float, float]:
+    """Submit every transfer and retry failures until all are delivered.
+
+    ``submissions`` is an iterable of ``(source, destination, nbytes,
+    label)`` tuples.  Failed tasks are resubmitted under the shared
+    :class:`~repro.chaos.RetryPolicy` — the same attempt/backoff/deadline
+    semantics as the transfer task manager, on the service's *simulated*
+    clock (each retry round advances the clock by the policy's backoff
+    before resubmitting).  The default policy reproduces the historical
+    submit-path behaviour: up to 32 attempts per task, no backoff.
+
+    Returns ``(elapsed_seconds, total_bytes_submitted)``; retries cost
+    bytes, so the second element exceeds the payload total when any task
+    failed.  Raises :class:`RuntimeError` once any task exhausts the
+    policy.
+    """
+    from ..chaos.retry import RetryPolicy
+
+    if policy is None:
+        policy = RetryPolicy(max_attempts=32, base=0.0)
+    start = service.clock
+    pending: dict[str, tuple[int, int, int, float, str]] = {}
+    attempts: dict[int, int] = {}
+    total = 0.0
+    for idx, (src, dst, nbytes, label) in enumerate(submissions):
+        tid = service.submit(src, dst, nbytes, label=label)
+        pending[tid] = (idx, src, dst, nbytes, label)
+        attempts[idx] = 1
+        total += nbytes
+    while pending:
+        service.wait_all()
+        retry: list[tuple[int, int, int, float, str]] = []
+        backoff = 0.0
+        for tid, (idx, src, dst, nbytes, label) in pending.items():
+            if service.status(tid) is not TaskStatus.FAILED:
+                continue
+            elapsed = service.clock - start
+            if not policy.should_retry(attempts[idx], elapsed):
+                raise RuntimeError(
+                    f"transfer {label!r} ({src}->{dst}) still failing "
+                    f"after {attempts[idx]} attempt(s)"
+                )
+            backoff = max(backoff, policy.delay(attempts[idx] - 1))
+            retry.append((idx, src, dst, nbytes, label))
+        if not retry:
+            break
+        if backoff > 0:
+            service.advance(backoff)
+        pending = {}
+        for idx, src, dst, nbytes, label in retry:
+            attempts[idx] += 1
+            tid = service.submit(src, dst, nbytes, label=f"{label} retry")
+            pending[tid] = (idx, src, dst, nbytes, label)
+            total += nbytes
+    return service.clock - start, total

@@ -1224,3 +1224,96 @@ class TestIncrementalCache:
         findings = Analyzer().check_paths([tree], restrict_to={a_posix})
         assert findings
         assert all(Path(f.path).as_posix() == a_posix for f in findings)
+
+
+class TestServiceBlockingNoDeadline:
+    SERVICE_PATH = "src/repro/service/handlers.py"
+
+    def lint_svc(self, source):
+        return lint(source, path=self.SERVICE_PATH, select=["RPD117"])
+
+    # -- true positives ---------------------------------------------------
+
+    def test_positive_bare_queue_get(self):
+        findings = self.lint_svc(
+            """
+            def handle_next(queue):
+                req = queue.get()
+                return req
+            """
+        )
+        assert rule_ids(findings) == ["RPD117"]
+        assert ".get()" in findings[0].message
+
+    def test_positive_future_result_and_fsync(self):
+        findings = self.lint_svc(
+            """
+            import os
+            def persist(future, fd):
+                out = future.result()
+                os.fsync(fd)
+                return out
+            """
+        )
+        assert rule_ids(findings) == ["RPD117", "RPD117"]
+
+    def test_positive_event_wait_without_bound(self):
+        findings = self.lint_svc(
+            """
+            def await_completion(event):
+                event.wait()
+            """
+        )
+        assert rule_ids(findings) == ["RPD117"]
+
+    # -- false-positive guards (must stay quiet) --------------------------
+
+    def test_negative_timeout_from_deadline(self):
+        findings = self.lint_svc(
+            """
+            def handle_next(queue, deadline):
+                req = queue.get(timeout=deadline.remaining())
+                return req
+            """
+        )
+        assert findings == []
+
+    def test_negative_dict_get_is_a_lookup(self):
+        findings = self.lint_svc(
+            """
+            def quota_for(quotas, tenant):
+                return quotas.get(tenant, 2)
+            """
+        )
+        assert findings == []
+
+    def test_negative_function_consults_deadline(self):
+        findings = self.lint_svc(
+            """
+            def run(request, future):
+                if request.deadline is not None and request.deadline.expired:
+                    return None
+                return future.result()
+            """
+        )
+        assert findings == []
+
+    def test_negative_outside_service_package(self):
+        findings = lint(
+            """
+            def handle_next(queue):
+                return queue.get()
+            """,
+            path="src/repro/core/handlers.py",
+            select=["RPD117"],
+        )
+        assert findings == []
+
+    def test_own_service_package_is_clean(self):
+        import pathlib
+
+        analyzer = Analyzer(select=["RPD117"])
+        service_dir = pathlib.Path("src/repro/service")
+        for path in sorted(service_dir.glob("*.py")):
+            findings = analyzer.check_source(path.read_text(), str(path))
+            assert findings == [], f"{path}: {findings}"
